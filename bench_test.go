@@ -1,0 +1,189 @@
+// Package unstencil's root benchmarks regenerate every table and figure of
+// the paper's evaluation at reduced scale (one benchmark per experiment;
+// see DESIGN.md §3 for the index). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Full paper-scale sweeps are driven by cmd/paperbench (-paper flag).
+// Each benchmark reports the experiment's headline quantity as a custom
+// metric so `go test -bench` output carries the reproduced series.
+package unstencil_test
+
+import (
+	"strconv"
+	"testing"
+
+	"unstencil/internal/bench"
+	"unstencil/internal/core"
+	"unstencil/internal/device"
+)
+
+// benchSession builds a session at bench scale. Mesh/field/sweep caches are
+// per-session, so each benchmark constructs its own.
+func benchSession(b *testing.B, sizes ...int) *bench.Session {
+	b.Helper()
+	cfg := bench.DefaultConfig()
+	cfg.Sizes = sizes
+	s, err := bench.NewSession(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func parseFloat(b *testing.B, cell string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// BenchmarkTable1 regenerates the intersection-test counts (paper Table 1)
+// on 4k and 16k low-variance meshes.
+func BenchmarkTable1(b *testing.B) {
+	s := benchSession(b, 4000, 16000)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = parseFloat(b, t.Rows[0][3])
+	}
+	b.ReportMetric(ratio, "pp/pe-tests")
+}
+
+// BenchmarkFig8 regenerates the tiling memory-overhead curve (paper
+// Fig. 8).
+func BenchmarkFig8(b *testing.B) {
+	s := benchSession(b, 4000, 16000)
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = parseFloat(b, t.Rows[len(t.Rows)-1][2])
+	}
+	b.ReportMetric(overhead, "overhead")
+}
+
+// BenchmarkFig11 regenerates the low-variance GFLOP/s sweep (paper
+// Fig. 11) at reduced scale: 1k/4k meshes, P ∈ {1,2}.
+func BenchmarkFig11(b *testing.B) {
+	s := benchSession(b, 1000, 4000)
+	s.Cfg.Orders = []int{1, 2}
+	var gflops float64
+	for i := 0; i < b.N; i++ {
+		t, _, err := s.FlopSweep(bench.LowVariance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gflops = parseFloat(b, t.Rows[len(t.Rows)-1][1])
+	}
+	b.ReportMetric(gflops, "GF/s-per-elem-P1")
+}
+
+// BenchmarkFig12 regenerates the high-variance GFLOP/s sweep (paper
+// Fig. 12).
+func BenchmarkFig12(b *testing.B) {
+	s := benchSession(b, 1000, 4000)
+	s.Cfg.Orders = []int{1, 2}
+	var gflops float64
+	for i := 0; i < b.N; i++ {
+		t, _, err := s.FlopSweep(bench.HighVariance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gflops = parseFloat(b, t.Rows[len(t.Rows)-1][1])
+	}
+	b.ReportMetric(gflops, "GF/s-per-elem-P1")
+}
+
+// BenchmarkFig13 regenerates the relative-speedup figure (paper Fig. 13):
+// per-element over per-point on LV and HV meshes.
+func BenchmarkFig13(b *testing.B) {
+	s := benchSession(b, 4000)
+	s.Cfg.Orders = []int{1}
+	var lvSpeedup float64
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lvSpeedup = parseFloat(b, t.Rows[0][1])
+	}
+	b.ReportMetric(lvSpeedup, "speedup-LV-P1")
+}
+
+// BenchmarkFig14 regenerates the multi-device scaling study (paper
+// Fig. 14) on 1/2/4/8 simulated devices.
+func BenchmarkFig14(b *testing.B) {
+	s := benchSession(b, 4000)
+	var scaling float64
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		scaling = parseFloat(b, t.Rows[0][len(t.Rows[0])-1])
+	}
+	b.ReportMetric(scaling, "speedup-8dev")
+}
+
+// BenchmarkPerPointScheme times the per-point scheme end to end (wall
+// clock) on a 1k LV mesh — the paper's baseline.
+func BenchmarkPerPointScheme(b *testing.B) {
+	s := benchSession(b, 1000)
+	f, err := s.Field(bench.LowVariance, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(f, core.Options{P: 1, GridDegree: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.RunPerPoint(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerElementScheme times the per-element scheme end to end (wall
+// clock) on the same mesh — the paper's proposed scheme.
+func BenchmarkPerElementScheme(b *testing.B) {
+	s := benchSession(b, 1000)
+	f, err := s.Field(bench.LowVariance, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(f, core.Options{P: 1, GridDegree: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tl := ev.NewTiling(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.RunPerElement(tl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceSim measures the simulator itself: scheduling 128 blocks
+// on an 8-device cluster.
+func BenchmarkDeviceSim(b *testing.B) {
+	costs := make([]float64, 128)
+	for i := range costs {
+		costs[i] = float64(1000 + i)
+	}
+	sim := device.NewSim(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Run(costs, 5000)
+	}
+}

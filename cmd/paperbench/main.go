@@ -1,0 +1,121 @@
+// Command paperbench regenerates the tables and figures of King & Kirby
+// (SC '13) with this library. Each experiment prints the rows/series the
+// paper reports; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	paperbench                      # default (reduced) sweep, all experiments
+//	paperbench -exp table1,fig8     # selected experiments
+//	paperbench -paper               # the paper's full 4k..1024k sweep
+//	paperbench -sizes 4k,16k,64k    # custom sizes
+//	paperbench -grid full           # full-density evaluation grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unstencil/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig11,fig12,fig13,fig14,cellsweep,tiling,patches,spatial or 'all'")
+		paperFlag = flag.Bool("paper", false, "use the paper's full configuration (4k..1024k, full grid)")
+		sizesFlag = flag.String("sizes", "", "override mesh sizes, e.g. '4k,16k,64k'")
+		ordersStr = flag.String("orders", "", "override polynomial orders, e.g. '1,2,3'")
+		gridFlag  = flag.String("grid", "", "evaluation grid density: 'sparse' (one point per element) or 'full' (paper's quadrature grid)")
+		seedFlag  = flag.Int64("seed", 1, "mesh generation seed")
+		gradeFlag = flag.Float64("grading", 16, "high-variance mesh grading factor")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *paperFlag {
+		cfg = bench.PaperConfig()
+	}
+	if *sizesFlag != "" {
+		sizes, err := bench.ParseSizes(*sizesFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Sizes = sizes
+	}
+	if *ordersStr != "" {
+		orders, err := bench.ParseInts(*ordersStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Orders = orders
+	}
+	switch *gridFlag {
+	case "":
+	case "sparse":
+		cfg.GridDegree = -1
+	case "full":
+		cfg.GridDegree = 0
+	default:
+		fatal(fmt.Errorf("unknown -grid %q (want sparse or full)", *gridFlag))
+	}
+	cfg.Seed = *seedFlag
+	cfg.Grading = *gradeFlag
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	s, err := bench.NewSession(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	type runner func() (*bench.Table, error)
+	runners := map[string]runner{
+		"table1": s.Table1,
+		"fig8":   s.Fig8,
+		"fig11": func() (*bench.Table, error) {
+			t, _, err := s.FlopSweep(bench.LowVariance)
+			return t, err
+		},
+		"fig12": func() (*bench.Table, error) {
+			t, _, err := s.FlopSweep(bench.HighVariance)
+			return t, err
+		},
+		"fig13":     s.Fig13,
+		"fig14":     s.Fig14,
+		"cellsweep": s.CellSweep,
+		"tiling":    s.TilingComparison,
+		"patches":   s.PatchSweep,
+		"spatial":   s.SpatialSweep,
+	}
+	order := []string{"table1", "fig8", "fig11", "fig12", "fig13", "fig14",
+		"cellsweep", "tiling", "patches", "spatial"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			e = strings.TrimSpace(e)
+			if _, ok := runners[e]; !ok {
+				fatal(fmt.Errorf("unknown experiment %q", e))
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		tb, err := runners[e]()
+		if err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", e, err))
+		}
+		tb.Fprint(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

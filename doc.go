@@ -1,0 +1,13 @@
+// Package unstencil reproduces "A Scalable, Efficient Scheme for Evaluation
+// of Stencil Computations over Unstructured Meshes" (King & Kirby, SC '13):
+// per-point and per-element evaluation of stencil computations over
+// unstructured triangular meshes, demonstrated as SIAC post-processing of
+// discontinuous Galerkin solutions, with overlapped tiling for scalable
+// concurrent execution.
+//
+// The root package carries only the module documentation and the
+// paper-reproduction benchmarks (bench_test.go, one testing.B per table and
+// figure). The implementation lives under internal/ — see README.md for the
+// package map, DESIGN.md for the experiment index, and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package unstencil

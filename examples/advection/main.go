@@ -1,0 +1,99 @@
+// Advection: the full simulate-then-post-process pipeline the paper's
+// application domain is about. A linear advection equation is solved with
+// the built-in upwind dG solver on an unstructured periodic mesh, producing
+// a genuinely discontinuous piecewise-polynomial solution; SIAC
+// post-processing then smooths it and recovers accuracy lost to the
+// element-interface jumps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func main() {
+	m, err := mesh.SizedLowVariance(1500, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Advect a smooth profile with velocity beta for time T; the exact
+	// solution is the translated initial condition.
+	beta := geom.Pt(1, 0.5)
+	const T = 0.2
+	u0 := func(p geom.Point) float64 {
+		return math.Sin(2*math.Pi*p.X) * math.Sin(2*math.Pi*p.Y)
+	}
+	exact := func(p geom.Point) float64 {
+		return u0(geom.Pt(p.X-beta.X*T, p.Y-beta.Y*T))
+	}
+
+	solver, err := dg.NewAdvection(m, 1, beta, u0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := solver.Run(T, 0.3)
+	fmt.Printf("dG advection: %d triangles, %d RK3 steps to T=%g\n",
+		m.NumTris(), steps, T)
+	fmt.Printf("L2 error of the dG solution: %.3e\n", solver.Field.L2Error(exact, 4))
+
+	// Measure the interface jumps before post-processing: sample each
+	// interior edge midpoint from both sides.
+	adjJump := meanInterfaceJump(solver.Field)
+	fmt.Printf("mean interface jump before post-processing: %.3e\n", adjJump)
+
+	// SIAC post-process the advected solution.
+	ev, err := core.NewEvaluator(solver.Field, core.Options{P: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ev.Run(core.PerElement, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var before, after float64
+	for i, gp := range ev.Points {
+		want := exact(gp.Pos)
+		if d := math.Abs(solver.Field.EvalIn(int(gp.Elem), gp.Pos) - want); d > before {
+			before = d
+		}
+		if d := math.Abs(res.Solution[i] - want); d > after {
+			after = d
+		}
+	}
+	fmt.Printf("max grid-point error: dG %.3e -> SIAC %.3e\n", before, after)
+	fmt.Printf("post-processing wall time: %v (%v scheme, overhead %.2f)\n",
+		res.Wall, res.Scheme, res.MemoryOverhead)
+}
+
+// meanInterfaceJump samples each interior edge at its midpoint from both
+// sides and averages |u⁻ − u⁺| — a direct measure of the discontinuity the
+// SIAC filter exists to remove.
+func meanInterfaceJump(f *dg.Field) float64 {
+	adj, err := dg.BuildAdjacency(f.Mesh, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, n := 0.0, 0
+	for e := 0; e < f.Mesh.NumTris(); e++ {
+		tri := f.Mesh.Triangle(e)
+		vs := [3]geom.Point{tri.A, tri.B, tri.C}
+		for le := 0; le < 3; le++ {
+			nb := adj.Neighbors[e][le]
+			if nb.Elem < 0 || nb.Elem < int32(e) {
+				continue // boundary, or already counted from the other side
+			}
+			mid := vs[le].Add(vs[(le+1)%3]).Scale(0.5)
+			sum += math.Abs(f.EvalIn(e, mid) - f.EvalIn(int(nb.Elem), mid))
+			n++
+		}
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,65 @@
+// Convergence study: demonstrates the accuracy-conserving (indeed
+// accuracy-*raising*) property of SIAC post-processing. dG projections of a
+// smooth field converge at O(h^{P+1}); the post-processed solution
+// superconverges at O(h^{2P+1}) at interior points. The example prints the
+// error tables and observed rates for a sequence of refined meshes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func main() {
+	u := func(p geom.Point) float64 {
+		return math.Sin(2 * math.Pi * (p.X + p.Y))
+	}
+	const p = 1
+	fmt.Printf("SIAC convergence study, P=%d (expect rates %d and %d)\n\n", p, p+1, 2*p+1)
+	fmt.Printf("%-8s  %-12s  %-6s  %-12s  %-6s\n", "mesh", "dG error", "rate", "SIAC error", "rate")
+
+	var prevBefore, prevAfter float64
+	for _, n := range []int{8, 16, 32} {
+		m := mesh.Structured(n)
+		field := dg.Project(m, p, u, 6)
+		ev, err := core.NewEvaluator(field, core.Options{P: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ev.Run(core.PerElement, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Max error over interior grid points (stencil fully inside the
+		// domain), where the symmetric-kernel theory applies.
+		half := ev.W / 2
+		var before, after float64
+		for i, gp := range ev.Points {
+			if gp.Pos.X < half || gp.Pos.X > 1-half || gp.Pos.Y < half || gp.Pos.Y > 1-half {
+				continue
+			}
+			want := u(gp.Pos)
+			if d := math.Abs(field.EvalIn(int(gp.Elem), gp.Pos) - want); d > before {
+				before = d
+			}
+			if d := math.Abs(res.Solution[i] - want); d > after {
+				after = d
+			}
+		}
+		rb, ra := "-", "-"
+		if prevBefore > 0 {
+			rb = fmt.Sprintf("%.2f", math.Log2(prevBefore/before))
+			ra = fmt.Sprintf("%.2f", math.Log2(prevAfter/after))
+		}
+		fmt.Printf("%-8s  %-12.3e  %-6s  %-12.3e  %-6s\n",
+			fmt.Sprintf("%dx%dx2", n, n), before, rb, after, ra)
+		prevBefore, prevAfter = before, after
+	}
+	fmt.Println("\nThe SIAC rate exceeding the dG rate is the paper's §2.2 motivation.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: project a smooth field onto a dG space over an unstructured
+// mesh, post-process it with the per-element SIAC scheme, and print the
+// before/after errors. This is the minimal end-to-end use of the library's
+// public pipeline: mesh -> dg.Field -> core.Evaluator -> Result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func main() {
+	// 1. An unstructured triangular mesh of the unit square (~2000
+	//    triangles, roughly uniform element sizes).
+	m, err := mesh.SizedLowVariance(2000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %d triangles, longest edge %.4f\n", m.NumTris(), m.LongestEdge())
+
+	// 2. A discontinuous Galerkin field: the L2 projection of a smooth
+	//    periodic function onto piecewise-linear polynomials.
+	u := func(p geom.Point) float64 {
+		return math.Sin(2*math.Pi*p.X) * math.Cos(2*math.Pi*p.Y)
+	}
+	field := dg.Project(m, 1, u, 4)
+
+	// 3. A SIAC post-processor. Options{P: 1} selects the kernel built from
+	//    quadratic B-splines with a 4h-wide stencil; everything else
+	//    defaults to the paper's configuration (periodic domain, hash-grid
+	//    cell sizes cp = s and ce = s/2).
+	ev, err := core.NewEvaluator(field, core.Options{P: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run the per-element scheme with 16 overlapped tiles.
+	res, err := ev.Run(core.PerElement, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Compare accuracy at the evaluation grid points.
+	var before, after float64
+	for i, gp := range ev.Points {
+		want := u(gp.Pos)
+		if d := math.Abs(field.EvalIn(int(gp.Elem), gp.Pos) - want); d > before {
+			before = d
+		}
+		if d := math.Abs(res.Solution[i] - want); d > after {
+			after = d
+		}
+	}
+	fmt.Printf("evaluated %d grid points in %v\n", ev.NumPoints(), res.Wall)
+	fmt.Printf("intersection tests: %d, integrated regions: %d\n",
+		res.Total.IntersectionTests, res.Total.Regions)
+	fmt.Printf("max error before post-processing: %.3e\n", before)
+	fmt.Printf("max error after  post-processing: %.3e (%.1fx better)\n",
+		after, before/after)
+}

@@ -1,0 +1,175 @@
+// Streamlines: integrate particle traces through a velocity field stored as
+// a discontinuous Galerkin solution. Discontinuities at element interfaces
+// degrade streamline accuracy; SIAC filtering was introduced for exactly
+// this use case (Steffen et al., IEEE TVCG 2008; Walfisch et al., JSC
+// 2009 — both cited by the paper). The example traces the same particle
+// through (a) the analytic field, (b) the raw dG field, and (c) the SIAC
+// post-processed field via core.Evaluator.EvalAt, and reports the end-point
+// errors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+// The steady divergence-free test field: a Taylor–Green vortex array with
+// period 1 in both directions, matching the post-processor's periodic
+// domain.
+func velocity(p geom.Point) geom.Point {
+	return geom.Pt(
+		-math.Sin(2*math.Pi*p.X)*math.Cos(2*math.Pi*p.Y),
+		math.Cos(2*math.Pi*p.X)*math.Sin(2*math.Pi*p.Y),
+	)
+}
+
+// field2 samples a velocity field from any source.
+type field2 func(geom.Point) (geom.Point, error)
+
+// rk4 traces a streamline with classic RK4 and periodic wrapping, returning
+// the end position.
+func rk4(v field2, start geom.Point, dt float64, steps int) (geom.Point, error) {
+	p := start
+	wrap := func(q geom.Point) geom.Point {
+		return geom.Pt(q.X-math.Floor(q.X), q.Y-math.Floor(q.Y))
+	}
+	for s := 0; s < steps; s++ {
+		k1, err := v(wrap(p))
+		if err != nil {
+			return p, err
+		}
+		k2, err := v(wrap(p.Add(k1.Scale(dt / 2))))
+		if err != nil {
+			return p, err
+		}
+		k3, err := v(wrap(p.Add(k2.Scale(dt / 2))))
+		if err != nil {
+			return p, err
+		}
+		k4, err := v(wrap(p.Add(k3.Scale(dt))))
+		if err != nil {
+			return p, err
+		}
+		p = p.Add(k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(dt / 6))
+	}
+	return p, nil
+}
+
+func main() {
+	m, err := mesh.SizedLowVariance(800, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const p = 1
+	// Project each velocity component onto the dG space.
+	fu := dg.Project(m, p, func(q geom.Point) float64 { return velocity(q).X }, 4)
+	fv := dg.Project(m, p, func(q geom.Point) float64 { return velocity(q).Y }, 4)
+	evU, err := core.NewEvaluator(fu, core.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evV, err := core.NewEvaluator(fv, core.Options{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	analytic := func(q geom.Point) (geom.Point, error) { return velocity(q), nil }
+	rawDG := func(q geom.Point) (geom.Point, error) {
+		// Locate the element and evaluate the broken polynomial directly —
+		// values jump across interfaces.
+		ux, err := fu.Eval(q)
+		if err != nil {
+			return geom.Point{}, err
+		}
+		uy, err := fv.Eval(q)
+		if err != nil {
+			return geom.Point{}, err
+		}
+		return geom.Pt(ux, uy), nil
+	}
+	siac := func(q geom.Point) (geom.Point, error) {
+		ux, err := evU.EvalAt(q)
+		if err != nil {
+			return geom.Point{}, err
+		}
+		uy, err := evV.EvalAt(q)
+		if err != nil {
+			return geom.Point{}, err
+		}
+		return geom.Pt(ux, uy), nil
+	}
+
+	start := geom.Pt(0.30, 0.40)
+	const dt, steps = 0.01, 120
+	ref, err := rk4(analytic, start, dt/4, steps*4) // fine reference trace
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamline from %v, T = %.2f, mesh %d triangles, P=%d\n",
+		start, dt*steps, m.NumTris(), p)
+
+	endDG, err := rk4(rawDG, start, dt, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw dG field:   end %v, deviation %.3e\n", endDG, endDG.Dist(ref))
+
+	endSIAC, err := rk4(siac, start, dt, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIAC filtered:  end %v, deviation %.3e\n", endSIAC, endSIAC.Dist(ref))
+
+	// The filter's headline property for streamlines is *smoothness*: the
+	// velocity seen by the integrator jumps across every element interface
+	// in the raw dG field but is continuous after filtering. Compare the
+	// two-sided limits at interior edge midpoints: for the raw field via
+	// the owning elements' polynomials, for the filtered field by sampling
+	// a hair to each side of the edge.
+	adj, err := dg.BuildAdjacency(m, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxJumpDG, maxJumpSIAC float64
+	checked := 0
+	for e := 0; e < m.NumTris() && checked < 60; e++ {
+		tri := m.Triangle(e)
+		vs := [3]geom.Point{tri.A, tri.B, tri.C}
+		for le := 0; le < 3 && checked < 60; le++ {
+			nb := adj.Neighbors[e][le]
+			if nb.Elem < 0 || nb.Elem < int32(e) {
+				continue
+			}
+			mid := vs[le].Add(vs[(le+1)%3]).Scale(0.5)
+			if mid.X < 0.1 || mid.X > 0.9 || mid.Y < 0.1 || mid.Y > 0.9 {
+				continue
+			}
+			checked++
+			du := math.Abs(fu.EvalIn(e, mid) - fu.EvalIn(int(nb.Elem), mid))
+			dv := math.Abs(fv.EvalIn(e, mid) - fv.EvalIn(int(nb.Elem), mid))
+			if j := math.Hypot(du, dv); j > maxJumpDG {
+				maxJumpDG = j
+			}
+			edge := vs[(le+1)%3].Sub(vs[le])
+			n := geom.Pt(edge.Y, -edge.X).Scale(1e-7 / edge.Norm())
+			s0, err0 := siac(mid.Add(n))
+			s1, err1 := siac(mid.Sub(n))
+			if err0 == nil && err1 == nil {
+				if j := s0.Dist(s1); j > maxJumpSIAC {
+					maxJumpSIAC = j
+				}
+			}
+		}
+	}
+	fmt.Printf("largest interface velocity jump (%d edges): raw dG %.3e, SIAC %.3e\n",
+		checked, maxJumpDG, maxJumpSIAC)
+	fmt.Println("\nPointwise the filtered field is more accurate and, crucially for")
+	fmt.Println("ODE integrators, continuous across element interfaces — the reason")
+	fmt.Println("SIAC filtering was introduced for streamline integration.")
+}

@@ -1,0 +1,3 @@
+module unstencil
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package bspline implements central B-splines and the
+// Smoothness-Increasing Accuracy-Conserving (SIAC) convolution kernels built
+// from them:
+//
+//	K^{r+1,k+1}(x) = Σ_{γ=0..r} c_γ ψ^{(k+1)}(x − x_γ)
+//
+// where ψ^{(k+1)} is the central B-spline of order k+1 (degree k) and the
+// stencil nodes x_γ are unit-spaced (x_γ = −r/2 + γ for the symmetric
+// kernel, r = 2k). The coefficients c_γ are chosen so convolution with K
+// reproduces polynomials up to degree r, which is equivalent to the moment
+// conditions ∫K = 1 and ∫K(y)·y^m dy = 0 for m = 1..r.
+//
+// Kernels are stored as exact piecewise polynomials on their unit-spaced
+// break lattice, which is what makes the stencil decomposition into "an
+// array of squares" (paper §3.1, Fig. 5) exact: within one square the kernel
+// is a single polynomial.
+package bspline
+
+import (
+	"fmt"
+	"math"
+
+	"unstencil/internal/linalg"
+	"unstencil/internal/quadrature"
+)
+
+// BSpline evaluates the central B-spline of order n (degree n−1) at x. Its
+// support is [−n/2, n/2] and it integrates to 1. The recurrence used is the
+// standard uniform-knot Cox–de Boor recursion specialised to central
+// splines:
+//
+//	M_n(x) = ((x + n/2)·M_{n−1}(x + ½) + (n/2 − x)·M_{n−1}(x − ½)) / (n−1)
+func BSpline(n int, x float64) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("bspline: order must be >= 1, got %d", n))
+	}
+	if n == 1 {
+		if x >= -0.5 && x < 0.5 {
+			return 1
+		}
+		return 0
+	}
+	h := float64(n) / 2
+	if x <= -h || x >= h {
+		return 0
+	}
+	return ((x+h)*BSpline(n-1, x+0.5) + (h-x)*BSpline(n-1, x-0.5)) / float64(n-1)
+}
+
+// BSplineMoment returns μ_m = ∫ ψ^{(n)}(t)·t^m dt, computed exactly by
+// per-knot-span Gauss quadrature (the integrand is polynomial of degree
+// n−1+m on each span).
+func BSplineMoment(n, m int) float64 {
+	if m < 0 {
+		panic("bspline: negative moment")
+	}
+	// Odd moments of the (even) central B-spline vanish identically.
+	if m%2 == 1 {
+		return 0
+	}
+	pts := (n + m + 2) / 2 // exact for degree n-1+m
+	if pts < 1 {
+		pts = 1
+	}
+	lo := -float64(n) / 2
+	total := 0.0
+	for span := 0; span < n; span++ {
+		a := lo + float64(span)
+		total += quadrature.Integrate1D(func(t float64) float64 {
+			return BSpline(n, t) * math.Pow(t, float64(m))
+		}, a, a+1, pts)
+	}
+	return total
+}
+
+// Kernel is a SIAC convolution kernel in normalized coordinates (element
+// size h = 1). Scale by h at evaluation time: the physical kernel is
+// (1/h)·K(x/h).
+type Kernel struct {
+	// K is the number of vanishing-moment "degrees": B-splines have order
+	// K+1, the kernel reproduces polynomials up to degree R = 2K.
+	K int
+	// R is the reproduction degree (2K for the kernels built here).
+	R int
+	// Nodes are the unit-spaced stencil node positions x_γ.
+	Nodes []float64
+	// Coeffs are the solved kernel coefficients c_γ.
+	Coeffs []float64
+	// Breaks are the R+K+2 break positions of the piecewise-polynomial
+	// kernel, spaced exactly 1 apart. Support is [Breaks[0], Breaks[last]].
+	Breaks []float64
+	// pieces[i] holds monomial coefficients (ascending powers) of the
+	// kernel on [Breaks[i], Breaks[i]+1] in the local variable
+	// t = x − Breaks[i]. Each piece has degree K.
+	pieces [][]float64
+}
+
+// NewSymmetric constructs the symmetric SIAC kernel K^{(2k+1), (k+1)} with
+// nodes x_γ = −k + γ, γ = 0..2k. k must be >= 1 (k is the dG polynomial
+// order P in the post-processing application). Its support has width 3k+1,
+// matching the paper's stencil extent (3k+1)h.
+func NewSymmetric(k int) (*Kernel, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("bspline: NewSymmetric needs k >= 1, got %d", k)
+	}
+	r := 2 * k
+	nodes := make([]float64, r+1)
+	for g := range nodes {
+		nodes[g] = -float64(r)/2 + float64(g)
+	}
+	return newKernel(k, nodes)
+}
+
+// NewOneSided constructs a one-sided SIAC kernel whose node lattice is
+// shifted by the given amount (in units of h). shift = 0 reproduces the
+// symmetric kernel; a kernel for a point at distance d < support/2 from the
+// right domain boundary uses a negative shift so the support stays inside
+// the domain (Ryan & Shu 2003). The same moment conditions are solved, so
+// polynomial reproduction up to degree 2k is retained.
+func NewOneSided(k int, shift float64) (*Kernel, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("bspline: NewOneSided needs k >= 1, got %d", k)
+	}
+	r := 2 * k
+	nodes := make([]float64, r+1)
+	for g := range nodes {
+		nodes[g] = -float64(r)/2 + float64(g) + shift
+	}
+	return newKernel(k, nodes)
+}
+
+func newKernel(k int, nodes []float64) (*Kernel, error) {
+	r := len(nodes) - 1
+	n := k + 1 // B-spline order
+	// Moment conditions: Σ_γ c_γ ∫ψ(y−x_γ) y^m dy = δ_{m0}, m = 0..r.
+	// With y = t + x_γ: ∫ψ(y−x_γ)y^m dy = Σ_j C(m,j)·μ_j·x_γ^{m−j}.
+	mu := make([]float64, r+1)
+	for j := 0; j <= r; j++ {
+		mu[j] = BSplineMoment(n, j)
+	}
+	a := linalg.NewMatrix(r+1, r+1)
+	for m := 0; m <= r; m++ {
+		for g := 0; g <= r; g++ {
+			s := 0.0
+			c := 1.0 // binomial C(m, j), updated incrementally
+			for j := 0; j <= m; j++ {
+				if j > 0 {
+					c = c * float64(m-j+1) / float64(j)
+				}
+				s += c * mu[j] * math.Pow(nodes[g], float64(m-j))
+			}
+			a.Set(m, g, s)
+		}
+	}
+	rhs := make([]float64, r+1)
+	rhs[0] = 1
+	coeffs, err := linalg.Solve(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("bspline: kernel coefficient system: %w", err)
+	}
+	ker := &Kernel{K: k, R: r, Nodes: nodes, Coeffs: coeffs}
+	ker.buildPieces()
+	return ker, nil
+}
+
+// evalDirect sums the shifted B-splines; used to build and verify the
+// piecewise representation.
+func (ker *Kernel) evalDirect(x float64) float64 {
+	n := ker.K + 1
+	s := 0.0
+	for g, xg := range ker.Nodes {
+		s += ker.Coeffs[g] * BSpline(n, x-xg)
+	}
+	return s
+}
+
+// buildPieces interpolates the kernel exactly on each unit break interval.
+// Within an interval the kernel is a single polynomial of degree K, so
+// interpolation at K+1 distinct points is exact.
+func (ker *Kernel) buildPieces() {
+	n := ker.K + 1
+	lo := ker.Nodes[0] - float64(n)/2
+	count := ker.R + n // number of unit intervals spanning the support
+	ker.Breaks = make([]float64, count+1)
+	for i := range ker.Breaks {
+		ker.Breaks[i] = lo + float64(i)
+	}
+	ker.pieces = make([][]float64, count)
+	deg := ker.K
+	for i := range ker.pieces {
+		a := ker.Breaks[i]
+		// Sample at deg+1 Chebyshev-ish points in local coords (0, 1),
+		// avoiding the endpoints where the half-open indicator in the
+		// Cox–de Boor base case could pick the wrong side.
+		xs := make([]float64, deg+1)
+		ys := make([]float64, deg+1)
+		for j := range xs {
+			t := (float64(j) + 0.5) / float64(deg+1)
+			xs[j] = t
+			ys[j] = ker.evalDirect(a + t)
+		}
+		ker.pieces[i] = newtonToMonomial(xs, ys)
+	}
+}
+
+// newtonToMonomial interpolates (xs, ys) with Newton divided differences and
+// expands the result to monomial coefficients (ascending powers).
+func newtonToMonomial(xs, ys []float64) []float64 {
+	n := len(xs)
+	// Divided differences in place.
+	dd := make([]float64, n)
+	copy(dd, ys)
+	for level := 1; level < n; level++ {
+		for i := n - 1; i >= level; i-- {
+			dd[i] = (dd[i] - dd[i-1]) / (xs[i] - xs[i-level])
+		}
+	}
+	// Expand Newton form Σ dd[i] Π_{j<i}(x − xs[j]) to monomials by Horner:
+	// p(x) = dd[n−1]; for i = n−2..0: p = p·(x − xs[i]) + dd[i].
+	coef := make([]float64, n)
+	coef[0] = dd[n-1]
+	degree := 0
+	for i := n - 2; i >= 0; i-- {
+		// Multiply current poly by (x − xs[i]).
+		for d := degree + 1; d >= 1; d-- {
+			coef[d] = coef[d-1] - xs[i]*coef[d]
+		}
+		coef[0] = -xs[i] * coef[0]
+		degree++
+		coef[0] += dd[i]
+	}
+	return coef
+}
+
+// Support returns the support interval [lo, hi] of the kernel in normalized
+// coordinates; hi − lo = 3K+1 for the kernels built by this package.
+func (ker *Kernel) Support() (lo, hi float64) {
+	return ker.Breaks[0], ker.Breaks[len(ker.Breaks)-1]
+}
+
+// Eval evaluates the kernel at x in normalized coordinates using the exact
+// piecewise-polynomial representation (Horner on the containing interval).
+func (ker *Kernel) Eval(x float64) float64 {
+	i := int(math.Floor(x - ker.Breaks[0]))
+	if i < 0 || i >= len(ker.pieces) {
+		return 0
+	}
+	t := x - ker.Breaks[i]
+	p := ker.pieces[i]
+	s := p[len(p)-1]
+	for d := len(p) - 2; d >= 0; d-- {
+		s = s*t + p[d]
+	}
+	return s
+}
+
+// PieceIndex returns the break interval containing x, or -1 outside the
+// support. The post-processor uses this to align stencil squares with kernel
+// polynomial pieces.
+func (ker *Kernel) PieceIndex(x float64) int {
+	i := int(math.Floor(x - ker.Breaks[0]))
+	if i < 0 || i >= len(ker.pieces) {
+		return -1
+	}
+	return i
+}
+
+// NumPieces returns the number of unit break intervals (3K+1).
+func (ker *Kernel) NumPieces() int { return len(ker.pieces) }
+
+// Moment returns ∫ K(y)·y^m dy computed from the piecewise representation
+// with exact quadrature; used by tests and diagnostics.
+func (ker *Kernel) Moment(m int) float64 {
+	pts := (ker.K + m + 2) / 2
+	if pts < 1 {
+		pts = 1
+	}
+	total := 0.0
+	for i := range ker.pieces {
+		a := ker.Breaks[i]
+		total += quadrature.Integrate1D(func(y float64) float64 {
+			return ker.Eval(y) * math.Pow(y, float64(m))
+		}, a, a+1, pts)
+	}
+	return total
+}

@@ -1,0 +1,313 @@
+package bspline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unstencil/internal/quadrature"
+)
+
+func TestBSplineHat(t *testing.T) {
+	// Order 2 is the hat function.
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {0.5, 0.5}, {-0.5, 0.5}, {1, 0}, {-1, 0}, {2, 0}, {0.25, 0.75},
+	}
+	for _, c := range cases {
+		if got := BSpline(2, c.x); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("M2(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBSplineQuadratic(t *testing.T) {
+	// Order 3: M3(0) = 3/4, M3(±0.5) = 1/2... actually M3(0.5) = 0.5? The
+	// quadratic B-spline on knots {-1.5,-0.5,0.5,1.5}: M3(0) = 3/4,
+	// M3(±1) = 1/8, M3(±1.5) = 0.
+	cases := []struct{ x, want float64 }{
+		{0, 0.75}, {1, 0.125}, {-1, 0.125}, {1.5, 0}, {-1.5, 0},
+	}
+	for _, c := range cases {
+		if got := BSpline(3, c.x); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("M3(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBSplineSupportAndPositivity(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		h := float64(n) / 2
+		if BSpline(n, h+1e-9) != 0 || BSpline(n, -h-1e-9) != 0 {
+			t.Errorf("order %d: nonzero outside support", n)
+		}
+		for x := -h + 0.01; x < h; x += 0.1 {
+			if BSpline(n, x) < 0 {
+				t.Errorf("order %d: negative at %v", n, x)
+			}
+		}
+	}
+}
+
+func TestBSplineIntegratesToOne(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		if got := BSplineMoment(n, 0); math.Abs(got-1) > 1e-13 {
+			t.Errorf("order %d: ∫ψ = %v", n, got)
+		}
+	}
+}
+
+func TestBSplinePartitionOfUnity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for n := 1; n <= 5; n++ {
+		for trial := 0; trial < 50; trial++ {
+			x := r.Float64()*10 - 5
+			sum := 0.0
+			for i := -10; i <= 10; i++ {
+				sum += BSpline(n, x-float64(i))
+			}
+			if math.Abs(sum-1) > 1e-13 {
+				t.Errorf("order %d: partition of unity at %v = %v", n, x, sum)
+			}
+		}
+	}
+}
+
+func TestBSplineSymmetry(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for x := 0.05; x < float64(n)/2; x += 0.17 {
+			if math.Abs(BSpline(n, x)-BSpline(n, -x)) > 1e-15 {
+				t.Errorf("order %d not symmetric at %v", n, x)
+			}
+		}
+	}
+}
+
+func TestBSplineOddMomentsVanish(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for m := 1; m <= 5; m += 2 {
+			if got := BSplineMoment(n, m); got != 0 {
+				t.Errorf("order %d moment %d = %v, want 0", n, m, got)
+			}
+		}
+	}
+}
+
+func TestBSplineSecondMoment(t *testing.T) {
+	// Var of sum of n independent U(-1/2,1/2) = n/12.
+	for n := 1; n <= 6; n++ {
+		want := float64(n) / 12
+		if got := BSplineMoment(n, 2); math.Abs(got-want) > 1e-13 {
+			t.Errorf("order %d second moment = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSymmetricKernelStructure(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ker.Nodes) != 2*k+1 {
+			t.Errorf("k=%d: %d nodes, want %d", k, len(ker.Nodes), 2*k+1)
+		}
+		lo, hi := ker.Support()
+		if math.Abs((hi-lo)-float64(3*k+1)) > 1e-12 {
+			t.Errorf("k=%d: support width %v, want %d", k, hi-lo, 3*k+1)
+		}
+		if ker.NumPieces() != 3*k+1 {
+			t.Errorf("k=%d: %d pieces, want %d", k, ker.NumPieces(), 3*k+1)
+		}
+		if math.Abs(lo+hi) > 1e-12 {
+			t.Errorf("k=%d: support not centred: [%v, %v]", k, lo, hi)
+		}
+	}
+}
+
+func TestSymmetricKernelMoments(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ker.Moment(0); math.Abs(got-1) > 1e-11 {
+			t.Errorf("k=%d: ∫K = %v, want 1", k, got)
+		}
+		for m := 1; m <= 2*k; m++ {
+			if got := ker.Moment(m); math.Abs(got) > 1e-10 {
+				t.Errorf("k=%d: moment %d = %v, want 0", k, m, got)
+			}
+		}
+	}
+}
+
+func TestKernelSymmetryEven(t *testing.T) {
+	ker, err := NewSymmetric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric nodes and even B-splines: K(x) = K(−x), and coefficients
+	// are palindromic.
+	for g := range ker.Coeffs {
+		if math.Abs(ker.Coeffs[g]-ker.Coeffs[len(ker.Coeffs)-1-g]) > 1e-10 {
+			t.Errorf("coefficients not palindromic: %v", ker.Coeffs)
+		}
+	}
+	for x := 0.1; x < 3.5; x += 0.3 {
+		if math.Abs(ker.Eval(x)-ker.Eval(-x)) > 1e-11 {
+			t.Errorf("K(%v) != K(−%v): %v vs %v", x, x, ker.Eval(x), ker.Eval(-x))
+		}
+	}
+}
+
+func TestKernelPiecewiseMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for k := 1; k <= 3; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := ker.Support()
+		for trial := 0; trial < 300; trial++ {
+			x := lo + r.Float64()*(hi-lo)
+			direct := ker.evalDirect(x)
+			fast := ker.Eval(x)
+			if math.Abs(direct-fast) > 1e-10 {
+				t.Errorf("k=%d x=%v: direct %v piecewise %v", k, x, direct, fast)
+			}
+		}
+		// Outside the support both are zero.
+		if ker.Eval(lo-0.5) != 0 || ker.Eval(hi+0.5) != 0 {
+			t.Errorf("k=%d: nonzero outside support", k)
+		}
+	}
+}
+
+// The defining property: convolution with the kernel reproduces polynomials
+// of degree up to r = 2k. ∫ K(y)·(x−y)^m dy = x^m for all x.
+func TestKernelPolynomialReproduction(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m <= 2*k; m++ {
+			for _, x := range []float64{0, 0.3, -1.7, 2.5} {
+				got := 0.0
+				pts := (ker.K + m + 2) / 2
+				if pts < 2 {
+					pts = 2
+				}
+				for i := range ker.Breaks[:len(ker.Breaks)-1] {
+					a := ker.Breaks[i]
+					got += quadrature.Integrate1D(func(y float64) float64 {
+						return ker.Eval(y) * math.Pow(x-y, float64(m))
+					}, a, a+1, pts)
+				}
+				want := math.Pow(x, float64(m))
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Errorf("k=%d m=%d x=%v: got %v want %v", k, m, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOneSidedKernel(t *testing.T) {
+	// A shifted kernel still satisfies the moment conditions.
+	ker, err := NewOneSided(2, -1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ker.Moment(0); math.Abs(got-1) > 1e-10 {
+		t.Errorf("∫K = %v", got)
+	}
+	for m := 1; m <= 4; m++ {
+		if got := ker.Moment(m); math.Abs(got) > 1e-9 {
+			t.Errorf("moment %d = %v", m, got)
+		}
+	}
+	// Zero shift equals the symmetric kernel.
+	sym, _ := NewSymmetric(2)
+	zero, _ := NewOneSided(2, 0)
+	for x := -3.4; x < 3.5; x += 0.23 {
+		if math.Abs(sym.Eval(x)-zero.Eval(x)) > 1e-10 {
+			t.Errorf("shift-0 one-sided differs from symmetric at %v", x)
+		}
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	if _, err := NewSymmetric(0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewOneSided(0, 1); err == nil {
+		t.Error("k=0 one-sided should error")
+	}
+}
+
+func TestPieceIndex(t *testing.T) {
+	ker, _ := NewSymmetric(1)
+	lo, hi := ker.Support() // [-2, 2]
+	if ker.PieceIndex(lo-1) != -1 || ker.PieceIndex(hi+1) != -1 {
+		t.Error("outside support should be -1")
+	}
+	if got := ker.PieceIndex(lo + 0.5); got != 0 {
+		t.Errorf("first piece index = %d", got)
+	}
+	if got := ker.PieceIndex(hi - 0.5); got != ker.NumPieces()-1 {
+		t.Errorf("last piece index = %d", got)
+	}
+}
+
+func TestKernelBreaksUnitSpaced(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(ker.Breaks); i++ {
+			if math.Abs(ker.Breaks[i]-ker.Breaks[i-1]-1) > 1e-13 {
+				t.Errorf("k=%d: break spacing %v at %d", k, ker.Breaks[i]-ker.Breaks[i-1], i)
+			}
+		}
+	}
+}
+
+func TestNewtonToMonomial(t *testing.T) {
+	// Interpolate x² + 2x + 3 exactly.
+	xs := []float64{0.1, 0.5, 0.9}
+	ys := make([]float64, 3)
+	for i, x := range xs {
+		ys[i] = x*x + 2*x + 3
+	}
+	c := newtonToMonomial(xs, ys)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Fatalf("coef = %v, want %v", c, want)
+		}
+	}
+}
+
+func BenchmarkKernelEval(b *testing.B) {
+	ker, _ := NewSymmetric(2)
+	b.ReportAllocs()
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		x += 0.001
+		if x > 3 {
+			x = -3
+		}
+		ker.Eval(x)
+	}
+}
+
+func BenchmarkNewSymmetric(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSymmetric(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package bspline_test
+
+import (
+	"fmt"
+
+	"unstencil/internal/bspline"
+)
+
+// The symmetric SIAC kernel for linear dG solutions (k = 1): three
+// quadratic B-splines, support width 3k+1 = 4, unit mass and a vanishing
+// second moment — the properties that make post-processing
+// accuracy-conserving.
+func ExampleNewSymmetric() {
+	ker, err := bspline.NewSymmetric(1)
+	if err != nil {
+		panic(err)
+	}
+	lo, hi := ker.Support()
+	fmt.Printf("nodes: %d, support: [%g, %g]\n", len(ker.Nodes), lo, hi)
+	fmt.Printf("mass: %.6f\n", ker.Moment(0))
+	fmt.Printf("second moment: %.6f\n", ker.Moment(2))
+	// Output:
+	// nodes: 3, support: [-2, 2]
+	// mass: 1.000000
+	// second moment: 0.000000
+}
+
+func ExampleBSpline() {
+	// The order-2 central B-spline is the hat function.
+	fmt.Printf("%.2f %.2f %.2f\n",
+		bspline.BSpline(2, -1), bspline.BSpline(2, 0), bspline.BSpline(2, 0.5))
+	// Output:
+	// 0.00 1.00 0.50
+}

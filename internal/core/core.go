@@ -1,0 +1,406 @@
+// Package core implements the paper's contribution: efficient evaluation of
+// stencil computations over unstructured triangular meshes, demonstrated as
+// SIAC post-processing of discontinuous Galerkin solutions.
+//
+// Two evaluation schemes are provided (paper §3):
+//
+//   - Per-point (§3.3, Algorithm 2): iterate evaluation grid points; for
+//     each point, find all mesh elements whose geometry intersects the
+//     B-spline stencil centred at the point via an element hash grid (cell
+//     size cp = s, one-cell halo), clip each stencil square against each
+//     element with Sutherland–Hodgman, triangulate, integrate, and
+//     accumulate into the point's solution.
+//
+//   - Per-element (§3.4, Algorithm 3): iterate mesh elements; for each
+//     element, find all grid points whose stencil intersects the element
+//     via a point hash grid (cell size ce = s/2, no halo), reuse the
+//     element data across all of them, and scatter partial solutions.
+//
+// Both schemes compute exactly the same sums in different orders; the
+// per-element scheme trades scattered element reads for data reuse and
+// fewer intersection tests, which is the paper's headline result.
+//
+// The domain is the unit square with periodic boundary conditions by
+// default: stencils crossing the boundary integrate against integer-shifted
+// images of the mesh. A one-sided kernel mode is available for
+// non-periodic domains.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"unstencil/internal/bspline"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/grid"
+	"unstencil/internal/mesh"
+	"unstencil/internal/metrics"
+	"unstencil/internal/quadrature"
+)
+
+// Scheme selects the evaluation strategy.
+type Scheme int
+
+const (
+	// PerPoint is the paper's baseline gather scheme (Algorithm 2).
+	PerPoint Scheme = iota
+	// PerElement is the paper's proposed scatter scheme (Algorithm 3).
+	PerElement
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case PerPoint:
+		return "per-point"
+	case PerElement:
+		return "per-element"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Boundary selects how stencils interact with the domain boundary.
+type Boundary int
+
+const (
+	// Periodic wraps stencils around the unit square (the paper's test
+	// configuration).
+	Periodic Boundary = iota
+	// OneSided shifts the kernel node lattice near boundaries so the
+	// stencil support stays inside the domain (Ryan & Shu 2003).
+	OneSided
+)
+
+// Options configure an Evaluator.
+type Options struct {
+	// P is the dG polynomial order; the SIAC kernel uses B-splines of order
+	// P+1 and reproduces polynomials of degree 2P. Required, >= 1.
+	P int
+	// GridDegree selects the per-element quadrature rule whose nodes form
+	// the evaluation grid (paper: "grid points correspond to the numerical
+	// quadrature points"). 0 means 2P; a negative value selects the
+	// one-point (degree-0) rule, which the benchmark harness uses to sweep
+	// large meshes at reduced grid density.
+	GridDegree int
+	// H is the characteristic element length h scaling the kernel. 0 means
+	// the mesh's longest edge s, the paper's choice for unstructured
+	// meshes.
+	H float64
+	// Boundary selects periodic wrapping (default) or one-sided kernels.
+	Boundary Boundary
+	// Workers bounds evaluation concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// CellFactorPoint scales the per-point hash-grid cell size relative to
+	// s (paper: cp = s, factor 1). 0 means 1. Values below 1 violate the
+	// enclosure guarantee and are rejected.
+	CellFactorPoint float64
+	// CellFactorElem scales the per-element hash-grid cell size relative to
+	// s (paper: ce = s/2, factor 0.5). 0 means 0.5.
+	CellFactorElem float64
+}
+
+func (o *Options) normalize(m *mesh.Mesh) error {
+	if o.P < 1 {
+		return fmt.Errorf("core: polynomial order P must be >= 1, got %d", o.P)
+	}
+	if o.GridDegree == 0 {
+		o.GridDegree = 2 * o.P
+	} else if o.GridDegree < 0 {
+		o.GridDegree = 0
+	}
+	if o.H == 0 {
+		o.H = m.LongestEdge()
+	}
+	if o.H <= 0 {
+		return fmt.Errorf("core: characteristic length h must be positive, got %g", o.H)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CellFactorPoint == 0 {
+		o.CellFactorPoint = 1
+	}
+	if o.CellFactorPoint < 1 {
+		return fmt.Errorf("core: per-point cell factor %g < 1 breaks the enclosure guarantee",
+			o.CellFactorPoint)
+	}
+	if o.CellFactorElem == 0 {
+		o.CellFactorElem = 0.5
+	}
+	if o.CellFactorElem <= 0 {
+		return fmt.Errorf("core: per-element cell factor must be positive")
+	}
+	return nil
+}
+
+// GridPoint is one evaluation point of the computation grid.
+type GridPoint struct {
+	Elem int32
+	Pos  geom.Point
+}
+
+// Evaluator holds the immutable state shared by both schemes for one
+// (mesh, field, options) triple.
+type Evaluator struct {
+	Mesh  *mesh.Mesh
+	Field *dg.Field
+	Opt   Options
+
+	Kernel *bspline.Kernel // symmetric kernel (Boundary == Periodic)
+	H      float64         // kernel scale
+	W      float64         // stencil support width in domain units: h·(3P+1)
+
+	Points     []GridPoint
+	PerElem    int // evaluation points per element
+	elemGrid   *grid.HashGrid
+	pointGrid  *grid.HashGrid
+	elemBounds []geom.AABB // cached triangle bounding boxes
+
+	rule quadrature.Rule2D // sub-region integration rule (degree P + 2k)
+
+	// scratch is the lazily created worker used by EvalAt.
+	scratch *worker
+}
+
+// NewEvaluator validates options, builds the SIAC kernel, the computation
+// grid and both hash grids.
+func NewEvaluator(f *dg.Field, opt Options) (*Evaluator, error) {
+	m := f.Mesh
+	if err := opt.normalize(m); err != nil {
+		return nil, err
+	}
+	if opt.P != f.P() {
+		return nil, fmt.Errorf("core: options P=%d but field has degree %d", opt.P, f.P())
+	}
+	ker, err := bspline.NewSymmetric(opt.P)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{
+		Mesh:   m,
+		Field:  f,
+		Opt:    opt,
+		Kernel: ker,
+		H:      opt.H,
+		W:      opt.H * float64(3*opt.P+1),
+		rule:   quadrature.TriangleForDegree(3 * opt.P), // degree P + 2k, k = P
+	}
+
+	// Computation grid: the nodes of a per-element quadrature rule.
+	gr := quadrature.TriangleForDegree(opt.GridDegree)
+	ev.PerElem = gr.Len()
+	ev.Points = make([]GridPoint, 0, m.NumTris()*gr.Len())
+	for e := 0; e < m.NumTris(); e++ {
+		tri := m.Triangle(e)
+		for _, rp := range gr.Points {
+			ev.Points = append(ev.Points, GridPoint{
+				Elem: int32(e),
+				Pos:  tri.MapReference(rp.X, rp.Y),
+			})
+		}
+	}
+
+	// Hash grids (paper §3.2). Element grid stores centroids with cell
+	// size cp = factor·s; point grid stores the evaluation points with
+	// ce = factor·s.
+	s := m.LongestEdge()
+	cents := make([]geom.Point, m.NumTris())
+	ev.elemBounds = make([]geom.AABB, m.NumTris())
+	for i := range cents {
+		cents[i] = m.Centroid(i)
+		ev.elemBounds[i] = m.Triangle(i).Bounds()
+	}
+	ev.elemGrid = grid.New(cents, opt.CellFactorPoint*s)
+	locs := make([]geom.Point, len(ev.Points))
+	for i, gp := range ev.Points {
+		locs[i] = gp.Pos
+	}
+	ev.pointGrid = grid.New(locs, opt.CellFactorElem*s)
+	return ev, nil
+}
+
+// NumPoints returns the size of the computation grid.
+func (ev *Evaluator) NumPoints() int { return len(ev.Points) }
+
+// shiftRange returns the integer lattice shifts d along one axis for which
+// the interval [lo, hi] shifted by −d overlaps [0, 1]; equivalently images
+// of the periodic domain that the interval touches.
+func shiftRange(lo, hi float64) (d0, d1 int) {
+	// Need [lo−d, hi−d] ∩ [0,1] ≠ ∅ ⇔ d ∈ [lo−1, hi].
+	d0 = int(math.Ceil(lo - 1))
+	d1 = int(math.Floor(hi))
+	return
+}
+
+// forEachShift invokes fn for every periodic image shift (dx, dy) under
+// which box b (a stencil support or padded element box) overlaps the unit
+// square. With Boundary == OneSided only the identity shift is used.
+func (ev *Evaluator) forEachShift(b geom.AABB, fn func(dx, dy int)) {
+	if ev.Opt.Boundary == OneSided {
+		fn(0, 0)
+		return
+	}
+	x0, x1 := shiftRange(b.Min.X, b.Max.X)
+	y0, y1 := shiftRange(b.Min.Y, b.Max.Y)
+	for dy := y0; dy <= y1; dy++ {
+		for dx := x0; dx <= x1; dx++ {
+			fn(dx, dy)
+		}
+	}
+}
+
+// worker holds per-goroutine scratch state so the hot loops allocate
+// nothing.
+type worker struct {
+	clip     geom.Clipper
+	tris     []geom.Triangle
+	basis    []float64
+	counters metrics.Counters
+	cand     []int32
+	kx, ky   *bspline.Kernel // kernels in effect for the current point
+	// edPerRegion is the modeled element-data bytes charged (uncoalesced,
+	// one scattered load transaction) for every integrated sub-region. The
+	// per-point scheme sets it to the element payload: in a point-block
+	// every lane works on a *different* element, so the modal coefficients
+	// cannot be staged in shared memory and must be re-fetched from
+	// scattered global locations for each integration (paper §3.3: "the
+	// element data requires (P+1)(P+2)/2 + 3 values to be read from memory
+	// per integration"). The per-element scheme sets it to 0 — the element
+	// data is loaded once and stays resident for the whole element pass
+	// (§3.4).
+	edPerRegion uint64
+}
+
+func (ev *Evaluator) newWorker() *worker {
+	return &worker{
+		basis: make([]float64, ev.Field.Basis.N),
+		kx:    ev.Kernel,
+		ky:    ev.Kernel,
+	}
+}
+
+// kernelsFor returns the (x, y) kernels for a point at pos. Periodic
+// domains always use the symmetric kernel; one-sided domains shift the node
+// lattice near boundaries so the support [lo, hi]·h + pos stays inside
+// [0, 1].
+func (ev *Evaluator) kernelsFor(pos geom.Point) (kx, ky *bspline.Kernel, err error) {
+	if ev.Opt.Boundary == Periodic {
+		return ev.Kernel, ev.Kernel, nil
+	}
+	kx, err = ev.oneSidedFor(pos.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	ky, err = ev.oneSidedFor(pos.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	return kx, ky, nil
+}
+
+func (ev *Evaluator) oneSidedFor(x float64) (*bspline.Kernel, error) {
+	lo, hi := ev.Kernel.Support()
+	// Support in domain units: [x + h·lo, x + h·hi].
+	shift := 0.0
+	if x+ev.H*lo < 0 {
+		shift = -(x/ev.H + lo)
+	} else if x+ev.H*hi > 1 {
+		shift = (1-x)/ev.H - hi
+	}
+	if shift == 0 {
+		return ev.Kernel, nil
+	}
+	return bspline.NewOneSided(ev.Opt.P, shift)
+}
+
+// integrate computes the contribution of element e to the post-processed
+// value at a stencil centred at center, i.e. the inner sums of Eq. (2):
+//
+//	(1/h²) Σ_{stencil squares} Σ_{τ_n} ∫_{τ_n} K_x((y1−cx)/h)·K_y((y2−cy)/h)·u_e(y) dy
+//
+// The stencil squares are the kernel's unit break lattice scaled by h, so
+// the integrand is a single polynomial on each clipped sub-region and the
+// quadrature is exact. Returns the partial solution.
+func (ev *Evaluator) integrate(center geom.Point, e int32, w *worker) float64 {
+	tri := ev.Mesh.Triangle(int(e))
+	bb := tri.Bounds()
+	h := ev.H
+	kx, ky := w.kx, w.ky
+	bxlo, _ := kx.Support()
+	bylo, _ := ky.Support()
+	np := kx.NumPieces()
+
+	// Kernel-cell index ranges overlapping the element bounding box.
+	i0 := int(math.Floor((bb.Min.X-center.X)/h - bxlo))
+	i1 := int(math.Floor((bb.Max.X-center.X)/h - bxlo))
+	j0 := int(math.Floor((bb.Min.Y-center.Y)/h - bylo))
+	j1 := int(math.Floor((bb.Max.Y-center.Y)/h - bylo))
+	if i1 < 0 || j1 < 0 || i0 >= np || j0 >= ky.NumPieces() {
+		return 0
+	}
+	i0 = max(i0, 0)
+	j0 = max(j0, 0)
+	i1 = min(i1, np-1)
+	j1 = min(j1, ky.NumPieces()-1)
+
+	minArea := 1e-14 * tri.Area()
+	basisN := ev.Field.Basis.N
+	coeffs := ev.Field.ElemCoeffs(int(e))
+	quadFlops := metrics.FlopsPerQuadEval(ev.Opt.P, ev.Opt.P)
+
+	sum := 0.0
+	for j := j0; j <= j1; j++ {
+		cy0 := center.Y + h*(bylo+float64(j))
+		for i := i0; i <= i1; i++ {
+			cx0 := center.X + h*(bxlo+float64(i))
+			cell := geom.Box(cx0, cy0, cx0+h, cy0+h)
+			poly := w.clip.ClipTriangleBox(tri, cell)
+			w.counters.Flops += uint64((len(poly) + 3) * metrics.FlopsPerClipVertex)
+			if len(poly) < 3 {
+				continue
+			}
+			w.tris = geom.SplitFan(geom.Polygon(poly), w.tris[:0], minArea)
+			for _, tau := range w.tris {
+				w.counters.Regions++
+				w.counters.Flops += metrics.FlopsPerRegion
+				if w.edPerRegion > 0 {
+					w.counters.BytesRead += w.edPerRegion
+					w.counters.BytesUncoalesced += w.edPerRegion
+					w.counters.ScatteredLoads++
+				}
+				jac := 2 * tau.Area()
+				for q, rp := range ev.rule.Points {
+					p := tau.MapReference(rp.X, rp.Y)
+					r, s := tri.InverseMap(p)
+					ev.Field.Basis.EvalAll(r, s, w.basis)
+					u := 0.0
+					for mIdx := 0; mIdx < basisN; mIdx++ {
+						u += coeffs[mIdx] * w.basis[mIdx]
+					}
+					kv := kx.Eval((p.X-center.X)/h) * ky.Eval((p.Y-center.Y)/h)
+					sum += ev.rule.Weights[q] * jac * kv * u
+					w.counters.QuadEvals++
+					w.counters.Flops += quadFlops
+				}
+			}
+		}
+	}
+	return sum / (h * h)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

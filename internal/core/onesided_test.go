@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+// One-sided kernels must reproduce polynomials of degree <= P at EVERY grid
+// point, including next to the boundary, because the shifted node lattice
+// keeps the support inside the domain while preserving the moment
+// conditions (Ryan & Shu 2003).
+func TestOneSidedPolynomialReproductionEverywhere(t *testing.T) {
+	m := mesh.Structured(10)
+	fn := func(p geom.Point) float64 { return 2 + 3*p.X - p.Y }
+	ev := buildEvaluator(t, m, 1, fn, Options{Boundary: OneSided})
+	res, err := ev.RunPerPoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gp := range ev.Points {
+		want := fn(gp.Pos)
+		if math.Abs(res.Solution[i]-want) > 1e-8 {
+			t.Fatalf("point %d at %v: got %v, want %v",
+				i, gp.Pos, res.Solution[i], want)
+		}
+	}
+}
+
+// The one-sided stencil support must stay inside the unit square: no
+// contribution may come from (nonexistent) periodic images, which the
+// scheme verifies by agreeing with a brute-force non-periodic reference.
+func TestOneSidedSchemesAgree(t *testing.T) {
+	lv, err := mesh.LowVariance(6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(p geom.Point) float64 { return math.Sin(2 * p.X * p.Y) }
+	ev := buildEvaluator(t, lv, 1, fn, Options{Boundary: OneSided})
+	pp, err := ev.RunPerPoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := ev.RunPerElement(ev.NewTiling(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(pp.Solution, pe.Solution); d > 1e-10 {
+		t.Errorf("one-sided schemes disagree by %v", d)
+	}
+	ref, err := ev.Reference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(ref, pp.Solution); d > 1e-10 {
+		t.Errorf("one-sided per-point vs reference: %v", d)
+	}
+}
+
+// Interior points far from the boundary use the symmetric kernel, so
+// one-sided and periodic modes agree there.
+func TestOneSidedMatchesPeriodicInInterior(t *testing.T) {
+	m := mesh.Structured(12)
+	fn := func(p geom.Point) float64 { return math.Sin(2 * math.Pi * p.X) }
+	evP := buildEvaluator(t, m, 1, fn, Options{})
+	evO := buildEvaluator(t, m, 1, fn, Options{Boundary: OneSided})
+	rp, err := evP.RunPerPoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := evO.RunPerPoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := evP.W / 2
+	checked := 0
+	for i, gp := range evP.Points {
+		if gp.Pos.X < half || gp.Pos.X > 1-half || gp.Pos.Y < half || gp.Pos.Y > 1-half {
+			continue
+		}
+		checked++
+		if math.Abs(rp.Solution[i]-ro.Solution[i]) > 1e-10 {
+			t.Fatalf("interior point %d differs: periodic %v, one-sided %v",
+				i, rp.Solution[i], ro.Solution[i])
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no interior points")
+	}
+}
+
+// The kernel construction must adapt near each boundary: verify the
+// per-point kernel selection shifts supports inside the domain.
+func TestOneSidedKernelSupportsInsideDomain(t *testing.T) {
+	m := mesh.Structured(8)
+	fn := func(p geom.Point) float64 { return 1 }
+	ev := buildEvaluator(t, m, 1, fn, Options{Boundary: OneSided})
+	for _, gp := range ev.Points {
+		kx, ky, err := ev.kernelsFor(gp.Pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := kx.Support()
+		if gp.Pos.X+ev.H*lo < -1e-9 || gp.Pos.X+ev.H*hi > 1+1e-9 {
+			t.Fatalf("x-support [%v, %v] escapes domain for point %v",
+				gp.Pos.X+ev.H*lo, gp.Pos.X+ev.H*hi, gp.Pos)
+		}
+		lo, hi = ky.Support()
+		if gp.Pos.Y+ev.H*lo < -1e-9 || gp.Pos.Y+ev.H*hi > 1+1e-9 {
+			t.Fatalf("y-support [%v, %v] escapes domain for point %v",
+				gp.Pos.Y+ev.H*lo, gp.Pos.Y+ev.H*hi, gp.Pos)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+	"unstencil/internal/metrics"
+	"unstencil/internal/tile"
+)
+
+// Result is the outcome of one post-processing run.
+type Result struct {
+	// Solution holds the post-processed value u* at every grid point, in
+	// Evaluator.Points order.
+	Solution []float64
+	// Blocks holds the exact per-logical-block counters under the paper's
+	// strided block schedule (per-point) or block-per-patch schedule
+	// (per-element). The device simulator turns these into modeled times.
+	Blocks []metrics.Counters
+	// Total is the sum over Blocks.
+	Total metrics.Counters
+	// Wall is the measured wall-clock duration of the evaluation phase.
+	Wall time.Duration
+	// MemoryOverhead is the tiling partial-solution overhead relative to
+	// baseline solution storage (1.0 for the per-point scheme).
+	MemoryOverhead float64
+	// Scheme records which scheme produced the result.
+	Scheme Scheme
+}
+
+// errCollector records the first error seen across workers.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (ec *errCollector) set(err error) {
+	if err == nil {
+		return
+	}
+	ec.mu.Lock()
+	if ec.err == nil {
+		ec.err = err
+	}
+	ec.mu.Unlock()
+}
+
+// RunPerPoint executes the per-point scheme (Algorithm 2) with nBlocks
+// logical blocks iterating grid points in the paper's strided fashion
+// (block b handles points b, b+NB, ...). Blocks are executed by
+// Opt.Workers goroutines, each playing the role of a streaming
+// multiprocessor executing its strided share of blocks.
+func (ev *Evaluator) RunPerPoint(nBlocks int) (*Result, error) {
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	res := &Result{
+		Solution:       make([]float64, ev.NumPoints()),
+		Blocks:         make([]metrics.Counters, nBlocks),
+		MemoryOverhead: 1,
+		Scheme:         PerPoint,
+	}
+	start := time.Now()
+	var ec errCollector
+	var wg sync.WaitGroup
+	workers := min(ev.Opt.Workers, nBlocks)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := ev.newWorker()
+			for b := w; b < nBlocks; b += workers {
+				for p := b; p < len(ev.Points); p += nBlocks {
+					v, err := ev.evalPoint(int32(p), wk)
+					if err != nil {
+						ec.set(err)
+						return
+					}
+					res.Solution[p] = v
+				}
+				res.Blocks[b].Add(&wk.counters)
+				wk.counters.Reset()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ec.err != nil {
+		return nil, ec.err
+	}
+	res.Wall = time.Since(start)
+	for i := range res.Blocks {
+		res.Total.Add(&res.Blocks[i])
+	}
+	return res, nil
+}
+
+// evalPoint computes the post-processed solution at grid point pi,
+// accumulating contributions from every (element, periodic image) pair
+// whose geometry intersects the stencil.
+func (ev *Evaluator) evalPoint(pi int32, wk *worker) (float64, error) {
+	gp := ev.Points[pi]
+	kx, ky, err := ev.kernelsFor(gp.Pos)
+	if err != nil {
+		return 0, err
+	}
+	wk.kx, wk.ky = kx, ky
+	xlo, xhi := kx.Support()
+	ylo, yhi := ky.Support()
+	supp := geom.Box(
+		gp.Pos.X+ev.H*xlo, gp.Pos.Y+ev.H*ylo,
+		gp.Pos.X+ev.H*xhi, gp.Pos.Y+ev.H*yhi,
+	)
+	// Paper §3.3: every integration re-reads the element data (scattered);
+	// every candidate test fetches the candidate element's geometry from a
+	// non-contiguous location.
+	wk.edPerRegion = metrics.ElementDataBytes(ev.Opt.P)
+	total := 0.0
+	ev.forEachShift(supp, func(dx, dy int) {
+		shift := geom.Pt(float64(dx), float64(dy))
+		box := supp.Translate(shift.Scale(-1))
+		center := gp.Pos.Sub(shift)
+		wk.cand = ev.elemGrid.AppendInBox(wk.cand[:0], box, 1)
+		for _, e := range wk.cand {
+			wk.counters.IntersectionTests++
+			wk.counters.Flops += metrics.FlopsPerTest
+			wk.counters.BytesRead += metrics.ElementGeometryBytes
+			wk.counters.BytesUncoalesced += metrics.ElementGeometryBytes
+			wk.counters.ScatteredLoads++
+			if !ev.elemBounds[e].Intersects(box) {
+				continue
+			}
+			before := wk.counters.Regions
+			total += ev.integrate(center, e, wk)
+			if wk.counters.Regions > before {
+				wk.counters.TruePositives++
+			}
+		}
+	})
+	return total, nil
+}
+
+// CandidateMarker returns a marking function for tile.New and
+// tile.MeasureOverhead that enumerates, for an element, exactly the
+// candidate grid points processElement queries — so tiling slot coverage is
+// identical to the evaluation by construction. The returned closure owns a
+// scratch buffer and is not safe for concurrent use.
+func (ev *Evaluator) CandidateMarker() func(e int, markPt func(pt int32)) {
+	var cand []int32
+	return func(e int, markPt func(pt int32)) {
+		box := ev.elemBounds[e].Pad(ev.influencePad())
+		ev.forEachShift(box, func(dx, dy int) {
+			s := geom.Pt(float64(-dx), float64(-dy))
+			cand = ev.pointGrid.AppendInBox(cand[:0], box.Translate(s), 0)
+			for _, pt := range cand {
+				markPt(pt)
+			}
+		})
+	}
+}
+
+// PointElems returns the owning element of every grid point.
+func (ev *Evaluator) PointElems() []int32 {
+	pointElem := make([]int32, len(ev.Points))
+	for i, gp := range ev.Points {
+		pointElem[i] = gp.Elem
+	}
+	return pointElem
+}
+
+// NewTiling builds the overlapped tiling for the per-element scheme with k
+// patches, marking each patch's influence region with exactly the candidate
+// enumeration processElement uses. Patches are balanced by estimated
+// workload (candidate-point counts per element), which keeps block-per-
+// patch execution balanced even on high-variance meshes where per-element
+// cost varies by orders of magnitude.
+func (ev *Evaluator) NewTiling(k int) *tile.Tiling {
+	weights := make([]float64, ev.Mesh.NumTris())
+	ruleLen := float64(ev.rule.Len())
+	for e := range weights {
+		bb := ev.elemBounds[e]
+		box := bb.Pad(ev.influencePad())
+		n := 0
+		ev.forEachShift(box, func(dx, dy int) {
+			qbox := box.Translate(geom.Pt(float64(-dx), float64(-dy)))
+			n += ev.pointGrid.CountInBox(qbox, 0)
+		})
+		// Each candidate pair clips the element against the kernel cells
+		// its bounding box overlaps and integrates the clipped regions, so
+		// the per-pair cost scales with cell count × quadrature size.
+		cx := math.Floor(bb.Width()/ev.H) + 1
+		cy := math.Floor(bb.Height()/ev.H) + 1
+		weights[e] = 1 + float64(n)*(1+cx*cy*ruleLen)
+	}
+	part := mesh.PartitionWeighted(ev.Mesh, k, weights)
+	return tile.NewWithPartition(ev.Mesh, ev.PointElems(), part, k, ev.CandidateMarker())
+}
+
+// influencePad returns how far an element's influence extends beyond its
+// bounding box. Periodic kernels are symmetric (half the support width);
+// one-sided kernels can be shifted by up to half a support width, so the
+// full width bounds them.
+func (ev *Evaluator) influencePad() float64 {
+	if ev.Opt.Boundary == OneSided {
+		return ev.W
+	}
+	return ev.W / 2
+}
+
+// RunPerElement executes the per-element scheme (Algorithm 3) under the
+// overlapped tiling: one logical block per patch, each accumulating partial
+// solutions into its own scratch-pad, followed by the reduction stage. A
+// nil tiling builds one with k patches equal to Opt.Workers.
+func (ev *Evaluator) RunPerElement(t *tile.Tiling) (*Result, error) {
+	if t == nil {
+		t = ev.NewTiling(ev.Opt.Workers)
+	}
+	res := &Result{
+		Solution:       make([]float64, ev.NumPoints()),
+		Blocks:         make([]metrics.Counters, t.K),
+		MemoryOverhead: t.Overhead(),
+		Scheme:         PerElement,
+	}
+	bufs := t.NewBuffers()
+	start := time.Now()
+	var ec errCollector
+	var wg sync.WaitGroup
+	workers := min(ev.Opt.Workers, t.K)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := ev.newWorker()
+			for p := w; p < t.K; p += workers {
+				buf := bufs[p]
+				for _, e := range t.PatchElems[p] {
+					err := ev.processElement(e, wk, func(pt int32, v float64) {
+						sl := t.Slot(p, pt)
+						if sl < 0 {
+							ec.set(fmt.Errorf("core: patch %d received partial for unmarked point %d", p, pt))
+							return
+						}
+						buf[sl] += v
+					})
+					if err != nil {
+						ec.set(err)
+						return
+					}
+				}
+				res.Blocks[p].Add(&wk.counters)
+				wk.counters.Reset()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ec.err != nil {
+		return nil, ec.err
+	}
+	t.Reduce(bufs, res.Solution)
+	res.Wall = time.Since(start)
+	for i := range res.Blocks {
+		res.Total.Add(&res.Blocks[i])
+	}
+	return res, nil
+}
+
+// processElement computes every partial solution contributed by element e
+// and hands it to add. The element data (coefficients, bounds, triangle) is
+// loaded once and reused across all candidate points — the data-reuse
+// property the per-element scheme exists for.
+func (ev *Evaluator) processElement(e int32, wk *worker, add func(pt int32, v float64)) error {
+	bb := ev.elemBounds[e]
+	box := bb.Pad(ev.influencePad())
+	// Element data is read once per element and kept resident (shared
+	// memory in the paper's GPU terms), so integrations charge nothing
+	// further.
+	wk.counters.BytesRead += metrics.ElementDataBytes(ev.Opt.P)
+	wk.counters.ScatteredLoads++
+	wk.edPerRegion = 0
+	var firstErr error
+	ev.forEachShift(box, func(dx, dy int) {
+		if firstErr != nil {
+			return
+		}
+		s := geom.Pt(float64(-dx), float64(-dy))
+		qbox := box.Translate(s)
+		wk.cand = ev.pointGrid.AppendInBox(wk.cand[:0], qbox, 0)
+		for _, pt := range wk.cand {
+			wk.counters.IntersectionTests++
+			wk.counters.Flops += metrics.FlopsPerTest
+			// Paper §3.4: only the grid point's spatial offset (two
+			// values) is read per candidate, and point storage is
+			// contiguous by cell, so the read coalesces.
+			wk.counters.BytesRead += metrics.PointDataBytes()
+			pos := ev.Points[pt].Pos
+			kx, ky, err := ev.kernelsFor(pos)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			wk.kx, wk.ky = kx, ky
+			center := pos.Sub(s)
+			xlo, xhi := kx.Support()
+			ylo, yhi := ky.Support()
+			supp := geom.Box(
+				center.X+ev.H*xlo, center.Y+ev.H*ylo,
+				center.X+ev.H*xhi, center.Y+ev.H*yhi,
+			)
+			if !supp.Intersects(bb) {
+				continue
+			}
+			before := wk.counters.Regions
+			v := ev.integrate(center, e, wk)
+			if wk.counters.Regions > before {
+				wk.counters.TruePositives++
+			}
+			if v != 0 {
+				add(pt, v)
+			}
+		}
+	})
+	return firstErr
+}
+
+// Run dispatches on the scheme: PerPoint uses nBlocks logical blocks,
+// PerElement uses a fresh tiling with nBlocks patches.
+func (ev *Evaluator) Run(scheme Scheme, nBlocks int) (*Result, error) {
+	switch scheme {
+	case PerPoint:
+		return ev.RunPerPoint(nBlocks)
+	case PerElement:
+		return ev.RunPerElement(ev.NewTiling(nBlocks))
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", scheme)
+	}
+}
+
+// Reference computes the post-processed solution by brute force: every
+// (point, element, periodic image) triple is integrated directly with no
+// spatial acceleration. It exists to validate both optimised schemes on
+// small meshes.
+func (ev *Evaluator) Reference() ([]float64, error) {
+	out := make([]float64, ev.NumPoints())
+	wk := ev.newWorker()
+	for pi := range ev.Points {
+		gp := ev.Points[pi]
+		kx, ky, err := ev.kernelsFor(gp.Pos)
+		if err != nil {
+			return nil, err
+		}
+		wk.kx, wk.ky = kx, ky
+		xlo, xhi := kx.Support()
+		ylo, yhi := ky.Support()
+		supp := geom.Box(
+			gp.Pos.X+ev.H*xlo, gp.Pos.Y+ev.H*ylo,
+			gp.Pos.X+ev.H*xhi, gp.Pos.Y+ev.H*yhi,
+		)
+		total := 0.0
+		ev.forEachShift(supp, func(dx, dy int) {
+			center := gp.Pos.Sub(geom.Pt(float64(dx), float64(dy)))
+			for e := 0; e < ev.Mesh.NumTris(); e++ {
+				total += ev.integrate(center, int32(e), wk)
+			}
+		})
+		out[pi] = total
+	}
+	return out, nil
+}
+
+// EvalAt post-processes the field at an arbitrary physical position (not
+// necessarily one of the evaluation grid points), using the per-point
+// gather. This is the entry point for applications such as streamline
+// integration through discontinuous fields (Steffen et al. 2008; Walfisch
+// et al. 2009), where query positions are produced on the fly by an ODE
+// integrator. Not safe for concurrent use with itself; create one Evaluator
+// per goroutine or synchronise externally.
+func (ev *Evaluator) EvalAt(pos geom.Point) (float64, error) {
+	if ev.scratch == nil {
+		ev.scratch = ev.newWorker()
+	}
+	return ev.evalAt(pos, ev.scratch)
+}
+
+// evalAt is the position-parameterised core of evalPoint.
+func (ev *Evaluator) evalAt(pos geom.Point, wk *worker) (float64, error) {
+	kx, ky, err := ev.kernelsFor(pos)
+	if err != nil {
+		return 0, err
+	}
+	wk.kx, wk.ky = kx, ky
+	xlo, xhi := kx.Support()
+	ylo, yhi := ky.Support()
+	supp := geom.Box(
+		pos.X+ev.H*xlo, pos.Y+ev.H*ylo,
+		pos.X+ev.H*xhi, pos.Y+ev.H*yhi,
+	)
+	wk.edPerRegion = metrics.ElementDataBytes(ev.Opt.P)
+	total := 0.0
+	ev.forEachShift(supp, func(dx, dy int) {
+		shift := geom.Pt(float64(dx), float64(dy))
+		box := supp.Translate(shift.Scale(-1))
+		center := pos.Sub(shift)
+		wk.cand = ev.elemGrid.AppendInBox(wk.cand[:0], box, 1)
+		for _, e := range wk.cand {
+			wk.counters.IntersectionTests++
+			if !ev.elemBounds[e].Intersects(box) {
+				continue
+			}
+			total += ev.integrate(center, e, wk)
+		}
+	})
+	return total, nil
+}
+
+// RunPerElementPipelined executes the per-element scheme with the paper's
+// pipelined tiling alternative (§4): patches are greedily coloured so that
+// patches of one colour have disjoint influence regions, then executed
+// wave by wave writing directly into the global solution — no
+// partial-solution memory overhead, but a synchronisation barrier between
+// waves and no reduction stage. The paper reports this trades away overall
+// performance; the tiling ablation quantifies it.
+func (ev *Evaluator) RunPerElementPipelined(t *tile.Tiling) (*Result, error) {
+	if t == nil {
+		t = ev.NewTiling(ev.Opt.Workers)
+	}
+	res := &Result{
+		Solution:       make([]float64, ev.NumPoints()),
+		Blocks:         make([]metrics.Counters, t.K),
+		MemoryOverhead: 1,
+		Scheme:         PerElement,
+	}
+	colors := t.Colors()
+	numColors := 0
+	for _, c := range colors {
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	start := time.Now()
+	var ec errCollector
+	for c := 0; c < numColors; c++ {
+		var wave []int
+		for p, pc := range colors {
+			if pc == c {
+				wave = append(wave, p)
+			}
+		}
+		var wg sync.WaitGroup
+		workers := min(ev.Opt.Workers, len(wave))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := ev.newWorker()
+				for i := w; i < len(wave); i += workers {
+					p := wave[i]
+					for _, e := range t.PatchElems[p] {
+						err := ev.processElement(e, wk, func(pt int32, v float64) {
+							// In-place accumulation: safe because same-colour
+							// patches have disjoint influence regions.
+							res.Solution[pt] += v
+						})
+						if err != nil {
+							ec.set(err)
+							return
+						}
+					}
+					res.Blocks[p].Add(&wk.counters)
+					wk.counters.Reset()
+				}
+			}(w)
+		}
+		wg.Wait() // barrier between colour waves
+		if ec.err != nil {
+			return nil, ec.err
+		}
+	}
+	res.Wall = time.Since(start)
+	for i := range res.Blocks {
+		res.Total.Add(&res.Blocks[i])
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package dg
+
+import (
+	"fmt"
+	"math"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+// EdgeNeighbor describes what lies across one local edge of an element.
+// Local edge le of element e runs from vertex le to vertex (le+1)%3.
+type EdgeNeighbor struct {
+	// Elem is the neighbouring element, or -1 on a true (non-periodic)
+	// boundary.
+	Elem int32
+	// Shift translates a physical point on this edge into the neighbour's
+	// frame: for a periodic wrap, ±1 in the wrapped coordinate; zero for
+	// interior edges.
+	Shift geom.Point
+}
+
+// Adjacency is the element-to-element connectivity of a triangulated mesh,
+// with optional periodic identification of the unit square's boundary.
+type Adjacency struct {
+	// Neighbors[e][le] describes the element across local edge le of
+	// element e.
+	Neighbors [][3]EdgeNeighbor
+}
+
+// BuildAdjacency computes edge adjacency. With periodic set, boundary edges
+// on x=0 pair with x=1 and y=0 with y=1; pairing requires the opposite
+// boundaries to have matching vertex positions (the mesh generators in
+// package mesh guarantee this) and returns an error otherwise.
+func BuildAdjacency(m *mesh.Mesh, periodic bool) (*Adjacency, error) {
+	type edgeKey struct{ a, b int32 }
+	canon := func(a, b int32) edgeKey {
+		if a > b {
+			a, b = b, a
+		}
+		return edgeKey{a, b}
+	}
+	type edgeRef struct {
+		elem  int32
+		local int
+	}
+	owners := map[edgeKey][]edgeRef{}
+	for e := range m.Tris {
+		t := m.Tris[e]
+		for le := 0; le < 3; le++ {
+			k := canon(t[le], t[(le+1)%3])
+			owners[k] = append(owners[k], edgeRef{int32(e), le})
+		}
+	}
+	adj := &Adjacency{Neighbors: make([][3]EdgeNeighbor, m.NumTris())}
+	for e := range adj.Neighbors {
+		for le := 0; le < 3; le++ {
+			adj.Neighbors[e][le] = EdgeNeighbor{Elem: -1}
+		}
+	}
+	type bEdge struct {
+		ref      edgeRef
+		lo, hi   float64 // tangential interval
+		boundary int     // 0: x=0, 1: x=1, 2: y=0, 3: y=1
+	}
+	var boundaryEdges []bEdge
+	const tol = 1e-12
+	for k, refs := range owners {
+		switch len(refs) {
+		case 2:
+			adj.Neighbors[refs[0].elem][refs[0].local] = EdgeNeighbor{Elem: refs[1].elem}
+			adj.Neighbors[refs[1].elem][refs[1].local] = EdgeNeighbor{Elem: refs[0].elem}
+		case 1:
+			if !periodic {
+				continue
+			}
+			a, b := m.Verts[k.a], m.Verts[k.b]
+			be := bEdge{ref: refs[0], boundary: -1}
+			switch {
+			case math.Abs(a.X) < tol && math.Abs(b.X) < tol:
+				be.boundary, be.lo, be.hi = 0, math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+			case math.Abs(a.X-1) < tol && math.Abs(b.X-1) < tol:
+				be.boundary, be.lo, be.hi = 1, math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+			case math.Abs(a.Y) < tol && math.Abs(b.Y) < tol:
+				be.boundary, be.lo, be.hi = 2, math.Min(a.X, b.X), math.Max(a.X, b.X)
+			case math.Abs(a.Y-1) < tol && math.Abs(b.Y-1) < tol:
+				be.boundary, be.lo, be.hi = 3, math.Min(a.X, b.X), math.Max(a.X, b.X)
+			default:
+				return nil, fmt.Errorf("dg: boundary edge %v-%v lies on no domain side", a, b)
+			}
+			boundaryEdges = append(boundaryEdges, be)
+		default:
+			return nil, fmt.Errorf("dg: edge shared by %d elements (non-manifold mesh)", len(refs))
+		}
+	}
+	if !periodic {
+		return adj, nil
+	}
+	// Pair opposite boundaries by tangential interval.
+	match := func(side, opposite int, shift geom.Point) error {
+		type interval struct{ lo, hi float64 }
+		byInterval := map[interval]edgeRef{}
+		quant := func(v float64) float64 { return math.Round(v*1e9) / 1e9 }
+		for _, be := range boundaryEdges {
+			if be.boundary == opposite {
+				byInterval[interval{quant(be.lo), quant(be.hi)}] = be.ref
+			}
+		}
+		for _, be := range boundaryEdges {
+			if be.boundary != side {
+				continue
+			}
+			other, ok := byInterval[interval{quant(be.lo), quant(be.hi)}]
+			if !ok {
+				return fmt.Errorf("dg: periodic pairing failed for boundary edge [%g, %g] on side %d (opposite boundary discretisation does not match)",
+					be.lo, be.hi, side)
+			}
+			adj.Neighbors[be.ref.elem][be.ref.local] = EdgeNeighbor{Elem: other.elem, Shift: shift}
+			adj.Neighbors[other.elem][other.local] = EdgeNeighbor{Elem: be.ref.elem, Shift: shift.Scale(-1)}
+		}
+		return nil
+	}
+	if err := match(0, 1, geom.Pt(1, 0)); err != nil {
+		return nil, err
+	}
+	if err := match(2, 3, geom.Pt(0, 1)); err != nil {
+		return nil, err
+	}
+	return adj, nil
+}

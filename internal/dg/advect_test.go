@@ -1,0 +1,207 @@
+package dg
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func TestBuildAdjacencyInterior(t *testing.T) {
+	m := mesh.Structured(4)
+	adj, err := BuildAdjacency(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each interior edge pairs two elements symmetrically.
+	for e := range adj.Neighbors {
+		for le := 0; le < 3; le++ {
+			n := adj.Neighbors[e][le]
+			if n.Elem < 0 {
+				continue
+			}
+			found := false
+			for ole := 0; ole < 3; ole++ {
+				if adj.Neighbors[n.Elem][ole].Elem == int32(e) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d -> %d", e, n.Elem)
+			}
+		}
+	}
+}
+
+func TestBuildAdjacencyPeriodic(t *testing.T) {
+	for _, build := range []func() (*mesh.Mesh, error){
+		func() (*mesh.Mesh, error) { return mesh.Structured(5), nil },
+		func() (*mesh.Mesh, error) { return mesh.LowVariance(6, 3) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj, err := BuildAdjacency(m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Periodic: every edge has a neighbour.
+		wrapped := 0
+		for e := range adj.Neighbors {
+			for le := 0; le < 3; le++ {
+				n := adj.Neighbors[e][le]
+				if n.Elem < 0 {
+					t.Fatalf("element %d edge %d has no neighbour under periodicity", e, le)
+				}
+				if n.Shift != geom.Pt(0, 0) {
+					wrapped++
+				}
+			}
+		}
+		if wrapped == 0 {
+			t.Error("no wrapped edges found")
+		}
+	}
+}
+
+func TestBuildAdjacencyNonManifold(t *testing.T) {
+	m := &mesh.Mesh{
+		Verts: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 0.5, Y: -1}},
+		Tris:  [][3]int32{{0, 1, 2}, {0, 1, 3}, {0, 1, 4}},
+	}
+	if _, err := BuildAdjacency(m, false); err == nil {
+		t.Error("non-manifold mesh should error")
+	}
+}
+
+// A constant field is an exact steady solution of linear advection: the
+// solver must preserve it to roundoff.
+func TestAdvectionPreservesConstant(t *testing.T) {
+	m := mesh.Structured(6)
+	s, err := NewAdvection(m, 1, geom.Pt(1, 0.5), func(geom.Point) float64 { return 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Step(s.MaxDT(0.3))
+	}
+	// Tolerance reflects the ~1e-10 accuracy of the finite-difference
+	// reference gradients.
+	if e := s.Field.MaxError(func(geom.Point) float64 { return 3 }, 2); e > 1e-8 {
+		t.Errorf("constant drifted by %v", e)
+	}
+}
+
+// Upwind dG is L2-stable: the energy must not grow.
+func TestAdvectionEnergyStable(t *testing.T) {
+	m, err := mesh.LowVariance(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := func(p geom.Point) float64 { return math.Sin(2 * math.Pi * p.X) }
+	s, err := NewAdvection(m, 1, geom.Pt(1, 0.3), u0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.Field.L2Norm()
+	for i := 0; i < 30; i++ {
+		s.Step(s.MaxDT(0.3))
+	}
+	e1 := s.Field.L2Norm()
+	if e1 > e0*(1+1e-10) {
+		t.Errorf("energy grew: %v -> %v", e0, e1)
+	}
+	if e1 < 0.5*e0 {
+		t.Errorf("energy collapsed (too dissipative or unstable): %v -> %v", e0, e1)
+	}
+}
+
+// Advecting a smooth periodic profile for a full period returns it to the
+// start; the error must shrink with mesh refinement.
+func TestAdvectionFullPeriodConvergence(t *testing.T) {
+	u0 := func(p geom.Point) float64 { return math.Sin(2 * math.Pi * p.X) }
+	errAt := func(n int) float64 {
+		m := mesh.Structured(n)
+		s, err := NewAdvection(m, 1, geom.Pt(1, 0), u0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(1, 0.3)
+		return s.Field.L2Error(u0, 4)
+	}
+	e1 := errAt(4)
+	e2 := errAt(8)
+	rate := math.Log2(e1 / e2)
+	t.Logf("full-period errors: %g -> %g (rate %.2f)", e1, e2, rate)
+	if e2 >= e1 {
+		t.Errorf("error did not shrink under refinement: %v -> %v", e1, e2)
+	}
+	if rate < 1.5 {
+		t.Errorf("convergence rate %.2f too low for P=1 upwind dG", rate)
+	}
+}
+
+// The solver must run (and stay stable) on unstructured periodic meshes.
+func TestAdvectionUnstructured(t *testing.T) {
+	m, err := mesh.LowVariance(8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := func(p geom.Point) float64 {
+		return math.Sin(2*math.Pi*p.X) * math.Sin(2*math.Pi*p.Y)
+	}
+	s, err := NewAdvection(m, 2, geom.Pt(0.7, 0.4), u0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := s.Run(0.05, 0.25)
+	if steps == 0 {
+		t.Fatal("no steps taken")
+	}
+	for _, c := range s.Field.Coeffs {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatal("solution blew up")
+		}
+	}
+	// Error vs the exact translated solution stays moderate.
+	exact := func(p geom.Point) float64 {
+		return u0(geom.Pt(p.X-0.7*0.05, p.Y-0.4*0.05))
+	}
+	if e := s.Field.L2Error(exact, 4); e > 0.05 {
+		t.Errorf("short-time error %v too large", e)
+	}
+}
+
+func TestMaxDT(t *testing.T) {
+	m := mesh.Structured(4)
+	s, err := NewAdvection(m, 1, geom.Pt(0, 0), func(geom.Point) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s.MaxDT(0.5), 1) {
+		t.Error("zero velocity should give infinite dt")
+	}
+}
+
+func TestNewAdvectionErrors(t *testing.T) {
+	m := mesh.Structured(4)
+	if _, err := NewAdvection(m, -1, geom.Pt(1, 0), func(geom.Point) float64 { return 1 }); err == nil {
+		t.Error("negative order should fail")
+	}
+}
+
+func BenchmarkAdvectionStep(b *testing.B) {
+	m := mesh.Structured(8)
+	s, err := NewAdvection(m, 1, geom.Pt(1, 0.5),
+		func(p geom.Point) float64 { return math.Sin(2 * math.Pi * p.X) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	dt := s.MaxDT(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(dt)
+	}
+}

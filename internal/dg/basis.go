@@ -1,0 +1,190 @@
+// Package dg provides the discontinuous Galerkin substrate that the SIAC
+// post-processor consumes: an orthonormal Dubiner (PKD) modal basis on the
+// reference triangle, elementwise-polynomial fields with L2 projection and
+// evaluation, error norms, and an upwind dG solver for linear advection that
+// produces realistic input solutions.
+package dg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"unstencil/internal/quadrature"
+)
+
+// Jacobi evaluates the Jacobi polynomial P_n^{(alpha,beta)} at x using the
+// standard three-term recurrence.
+func Jacobi(n int, alpha, beta, x float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("dg: Jacobi degree must be >= 0, got %d", n))
+	}
+	if n == 0 {
+		return 1
+	}
+	p0 := 1.0
+	p1 := (alpha-beta)/2 + (alpha+beta+2)/2*x
+	for m := 1; m < n; m++ {
+		fm := float64(m)
+		a := fm + alpha
+		b := fm + beta
+		c := 2*fm + alpha + beta
+		a1 := 2 * (fm + 1) * (fm + alpha + beta + 1) * c
+		a2 := (c + 1) * (alpha*alpha - beta*beta)
+		a3 := c * (c + 1) * (c + 2)
+		a4 := 2 * a * b * (c + 2)
+		p2 := ((a2+a3*x)*p1 - a4*p0) / a1
+		p0, p1 = p1, p2
+	}
+	return p1
+}
+
+// Legendre evaluates the Legendre polynomial P_n at x.
+func Legendre(n int, x float64) float64 { return Jacobi(n, 0, 0, x) }
+
+// NumModes returns the dimension of the total-degree-P polynomial space on
+// a triangle: (P+1)(P+2)/2.
+func NumModes(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// Basis is the orthonormal Dubiner basis of total degree P on the unit
+// reference triangle T = {(r,s): r >= 0, s >= 0, r+s <= 1}, orthonormal
+// with respect to the measure dr ds on T. Mode m corresponds to the index
+// pair (I[m], J[m]) with I[m]+J[m] <= P.
+type Basis struct {
+	P    int
+	N    int // number of modes
+	I, J []int
+	norm []float64 // normalisation factors making the basis orthonormal
+}
+
+var (
+	basisMu    sync.Mutex
+	basisCache = map[int]*Basis{}
+)
+
+// NewBasis returns the cached basis of total degree p >= 0.
+func NewBasis(p int) *Basis {
+	if p < 0 {
+		panic(fmt.Sprintf("dg: basis degree must be >= 0, got %d", p))
+	}
+	basisMu.Lock()
+	defer basisMu.Unlock()
+	if b, ok := basisCache[p]; ok {
+		return b
+	}
+	b := &Basis{P: p, N: NumModes(p)}
+	for i := 0; i <= p; i++ {
+		for j := 0; i+j <= p; j++ {
+			b.I = append(b.I, i)
+			b.J = append(b.J, j)
+		}
+	}
+	// Normalise numerically: the raw Dubiner modes are orthogonal on T, so
+	// only the diagonal Gram entries are needed. A rule exact for degree 2P
+	// makes this exact up to roundoff.
+	b.norm = make([]float64, b.N)
+	rule := quadrature.TriangleForDegree(2 * p)
+	for m := 0; m < b.N; m++ {
+		g := 0.0
+		for q, pt := range rule.Points {
+			v := b.evalRaw(m, pt.X, pt.Y)
+			g += rule.Weights[q] * v * v
+		}
+		b.norm[m] = 1 / math.Sqrt(g)
+	}
+	basisCache[p] = b
+	return b
+}
+
+// evalRaw evaluates the unnormalised Dubiner mode m at reference
+// coordinates (r, s). Collapsed coordinates: a = 2r/(1-s) - 1, b = 2s - 1;
+// the (1-s)^i factor removes the singularity of a at the apex s = 1.
+func (b *Basis) evalRaw(m int, r, s float64) float64 {
+	i, j := b.I[m], b.J[m]
+	oneMinusS := 1 - s
+	var a float64
+	if math.Abs(oneMinusS) < 1e-14 {
+		a = -1 // apex: value is irrelevant for i > 0 due to the (1-s)^i factor
+	} else {
+		a = 2*r/oneMinusS - 1
+	}
+	v := Jacobi(i, 0, 0, a)
+	if i > 0 {
+		v *= math.Pow(oneMinusS, float64(i))
+	}
+	v *= Jacobi(j, 2*float64(i)+1, 0, 2*s-1)
+	return v
+}
+
+// Eval evaluates the orthonormal mode m at reference coordinates (r, s).
+func (b *Basis) Eval(m int, r, s float64) float64 {
+	return b.norm[m] * b.evalRaw(m, r, s)
+}
+
+// EvalAll evaluates every mode at (r, s) into out, which must have length
+// b.N. It returns out for convenience. This is the post-processor's hot
+// path, so all Jacobi recurrences are shared across modes: P_i(a) is built
+// once for i = 0..P, and each (i, ·) family shares its own P^{(2i+1,0)}
+// recurrence.
+func (b *Basis) EvalAll(r, s float64, out []float64) []float64 {
+	if len(out) != b.N {
+		panic(fmt.Sprintf("dg: EvalAll buffer length %d, want %d", len(out), b.N))
+	}
+	p := b.P
+	oneMinusS := 1 - s
+	var a float64
+	if math.Abs(oneMinusS) < 1e-14 {
+		a = -1
+	} else {
+		a = 2*r/oneMinusS - 1
+	}
+	bb := 2*s - 1
+
+	// leg[i] = P_i(a) · (1-s)^i, built by the Legendre recurrence with the
+	// (1-s) factor folded in: scaling both sides of the recurrence by
+	// (1-s)^{i+1} keeps it exact.
+	var leg [16]float64 // P <= 14 is far beyond practical SIAC orders
+	if p >= len(leg) {
+		panic(fmt.Sprintf("dg: EvalAll supports P < %d, got %d", len(leg), p))
+	}
+	leg[0] = 1
+	if p >= 1 {
+		leg[1] = a * oneMinusS
+	}
+	om2 := oneMinusS * oneMinusS
+	for i := 1; i < p; i++ {
+		fi := float64(i)
+		leg[i+1] = ((2*fi+1)*(a*oneMinusS)*leg[i] - fi*om2*leg[i-1]) / (fi + 1)
+	}
+
+	m := 0
+	for i := 0; i <= p; i++ {
+		// Jacobi P_j^{(alpha,0)}(bb) recurrence for alpha = 2i+1, shared by
+		// all j for this i.
+		alpha := 2*float64(i) + 1
+		j0 := 1.0
+		j1 := (alpha+2)/2*bb + alpha/2
+		for j := 0; i+j <= p; j++ {
+			var pj float64
+			switch j {
+			case 0:
+				pj = j0
+			case 1:
+				pj = j1
+			default:
+				// Advance the recurrence once per loop iteration past j=1.
+				fj := float64(j - 1)
+				c := 2*fj + alpha
+				a1 := 2 * (fj + 1) * (fj + alpha + 1) * c
+				a2 := (c + 1) * alpha * alpha
+				a3 := c * (c + 1) * (c + 2)
+				a4 := 2 * (fj + alpha) * fj * (c + 2)
+				pj = ((a2+a3*bb)*j1 - a4*j0) / a1
+				j0, j1 = j1, pj
+			}
+			out[m] = b.norm[m] * leg[i] * pj
+			m++
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package dg
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/quadrature"
+)
+
+func TestJacobiLowDegrees(t *testing.T) {
+	// P_0 = 1, P_1^{a,b}(x) = (a-b)/2 + (a+b+2)/2 x.
+	for _, x := range []float64{-1, -0.3, 0, 0.7, 1} {
+		if Jacobi(0, 1, 2, x) != 1 {
+			t.Error("P0 != 1")
+		}
+		want := (1.0-2.0)/2 + (1.0+2.0+2.0)/2*x
+		if math.Abs(Jacobi(1, 1, 2, x)-want) > 1e-14 {
+			t.Errorf("P1^{1,2}(%v) = %v, want %v", x, Jacobi(1, 1, 2, x), want)
+		}
+	}
+}
+
+func TestLegendreValues(t *testing.T) {
+	// P_2(x) = (3x²-1)/2, P_3(x) = (5x³-3x)/2.
+	for _, x := range []float64{-0.9, -0.2, 0.4, 1} {
+		if got, want := Legendre(2, x), (3*x*x-1)/2; math.Abs(got-want) > 1e-14 {
+			t.Errorf("P2(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := Legendre(3, x), (5*x*x*x-3*x)/2; math.Abs(got-want) > 1e-14 {
+			t.Errorf("P3(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P_n(1) = 1 for all n.
+	for n := 0; n <= 10; n++ {
+		if math.Abs(Legendre(n, 1)-1) > 1e-12 {
+			t.Errorf("P%d(1) = %v", n, Legendre(n, 1))
+		}
+	}
+}
+
+func TestJacobiOrthogonality(t *testing.T) {
+	// ∫ P_m^{a,b} P_n^{a,b} (1-x)^a (1+x)^b dx = 0 for m != n.
+	alpha, beta := 3.0, 0.0
+	for m := 0; m <= 4; m++ {
+		for n := 0; n <= 4; n++ {
+			if m == n {
+				continue
+			}
+			got := quadrature.Integrate1D(func(x float64) float64 {
+				return Jacobi(m, alpha, beta, x) * Jacobi(n, alpha, beta, x) *
+					math.Pow(1-x, alpha) * math.Pow(1+x, beta)
+			}, -1, 1, 12)
+			if math.Abs(got) > 1e-12 {
+				t.Errorf("<P%d, P%d> = %v, want 0", m, n, got)
+			}
+		}
+	}
+}
+
+func TestNumModes(t *testing.T) {
+	wants := map[int]int{0: 1, 1: 3, 2: 6, 3: 10, 4: 15}
+	for p, w := range wants {
+		if NumModes(p) != w {
+			t.Errorf("NumModes(%d) = %d, want %d", p, NumModes(p), w)
+		}
+	}
+}
+
+func TestBasisOrthonormality(t *testing.T) {
+	for p := 0; p <= 4; p++ {
+		b := NewBasis(p)
+		if b.N != NumModes(p) {
+			t.Fatalf("p=%d: N = %d", p, b.N)
+		}
+		rule := quadrature.TriangleForDegree(2 * p)
+		for m := 0; m < b.N; m++ {
+			for n := m; n < b.N; n++ {
+				g := 0.0
+				for q, pt := range rule.Points {
+					g += rule.Weights[q] * b.Eval(m, pt.X, pt.Y) * b.Eval(n, pt.X, pt.Y)
+				}
+				want := 0.0
+				if m == n {
+					want = 1
+				}
+				if math.Abs(g-want) > 1e-11 {
+					t.Errorf("p=%d: <φ%d, φ%d> = %v, want %v", p, m, n, g, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBasisSpansPolynomials(t *testing.T) {
+	// The degree-2 basis must represent r² exactly: project and compare.
+	b := NewBasis(2)
+	rule := quadrature.TriangleForDegree(6)
+	coef := make([]float64, b.N)
+	for m := 0; m < b.N; m++ {
+		s := 0.0
+		for q, pt := range rule.Points {
+			s += rule.Weights[q] * pt.X * pt.X * b.Eval(m, pt.X, pt.Y)
+		}
+		coef[m] = s
+	}
+	for _, pt := range rule.Points {
+		got := 0.0
+		for m, c := range coef {
+			got += c * b.Eval(m, pt.X, pt.Y)
+		}
+		if math.Abs(got-pt.X*pt.X) > 1e-11 {
+			t.Fatalf("reconstruction of r² at %v = %v", pt, got)
+		}
+	}
+}
+
+func TestBasisApexRegular(t *testing.T) {
+	// The collapsed-coordinate singularity at s=1 must produce finite
+	// values.
+	b := NewBasis(3)
+	for m := 0; m < b.N; m++ {
+		v := b.Eval(m, 0, 1)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("mode %d at apex = %v", m, v)
+		}
+	}
+}
+
+func TestBasisCached(t *testing.T) {
+	if NewBasis(2) != NewBasis(2) {
+		t.Error("NewBasis should cache")
+	}
+}
+
+func TestEvalAll(t *testing.T) {
+	b := NewBasis(2)
+	out := make([]float64, b.N)
+	b.EvalAll(0.3, 0.2, out)
+	for m := range out {
+		if math.Abs(out[m]-b.Eval(m, 0.3, 0.2)) > 1e-15 {
+			t.Fatalf("EvalAll mode %d mismatch", m)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong buffer size")
+		}
+	}()
+	b.EvalAll(0, 0, make([]float64, 2))
+}
+
+func BenchmarkEvalAllP3(b *testing.B) {
+	bs := NewBasis(3)
+	out := make([]float64, bs.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bs.EvalAll(0.3, 0.4, out)
+	}
+}

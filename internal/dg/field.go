@@ -1,0 +1,167 @@
+package dg
+
+import (
+	"fmt"
+	"math"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+	"unstencil/internal/quadrature"
+)
+
+// Field is a discontinuous piecewise-polynomial function over a triangular
+// mesh: on each element it is a degree-P polynomial stored as modal
+// coefficients in the orthonormal Dubiner basis of the reference triangle.
+// This is exactly the "array of polynomial modes" the paper's post-processor
+// takes as input (§2.2).
+type Field struct {
+	Mesh   *mesh.Mesh
+	Basis  *Basis
+	Coeffs []float64 // NumTris × Basis.N, element-major
+}
+
+// NewField allocates a zero field of degree p over m.
+func NewField(m *mesh.Mesh, p int) *Field {
+	b := NewBasis(p)
+	return &Field{
+		Mesh:   m,
+		Basis:  b,
+		Coeffs: make([]float64, m.NumTris()*b.N),
+	}
+}
+
+// P returns the polynomial degree.
+func (f *Field) P() int { return f.Basis.P }
+
+// ElemCoeffs returns the modal coefficients of element e (a mutable view).
+func (f *Field) ElemCoeffs(e int) []float64 {
+	n := f.Basis.N
+	return f.Coeffs[e*n : (e+1)*n]
+}
+
+// Project computes the elementwise L2 projection of fn onto the degree-p
+// broken polynomial space over m. For affine elements the reference-space
+// projection with an orthonormal basis is a plain inner product; quadDegree
+// extra quadrature degrees are added beyond 2p to resolve non-polynomial
+// integrands (pass 0 for polynomial inputs).
+func Project(m *mesh.Mesh, p int, fn func(geom.Point) float64, quadDegree int) *Field {
+	f := NewField(m, p)
+	rule := quadrature.TriangleForDegree(2*p + quadDegree)
+	nq := rule.Len()
+	basisAt := make([][]float64, nq)
+	for q, pt := range rule.Points {
+		basisAt[q] = f.Basis.EvalAll(pt.X, pt.Y, make([]float64, f.Basis.N))
+	}
+	vals := make([]float64, nq)
+	for e := 0; e < m.NumTris(); e++ {
+		tri := m.Triangle(e)
+		for q, pt := range rule.Points {
+			vals[q] = fn(tri.MapReference(pt.X, pt.Y))
+		}
+		ce := f.ElemCoeffs(e)
+		for mm := range ce {
+			s := 0.0
+			for q := 0; q < nq; q++ {
+				// Reference-measure inner product: orthonormality holds in
+				// reference space; the affine Jacobian cancels.
+				s += rule.Weights[q] * vals[q] * basisAt[q][mm]
+			}
+			// The reference triangle has area 1/2 and the basis is
+			// orthonormal w.r.t. the full reference measure, so no extra
+			// scaling is needed.
+			ce[mm] = s
+		}
+	}
+	return f
+}
+
+// EvalRef evaluates the field on element e at reference coordinates (r, s).
+func (f *Field) EvalRef(e int, r, s float64) float64 {
+	ce := f.ElemCoeffs(e)
+	sum := 0.0
+	for m, c := range ce {
+		if c != 0 {
+			sum += c * f.Basis.Eval(m, r, s)
+		}
+	}
+	return sum
+}
+
+// EvalIn evaluates the field at physical point p, which the caller asserts
+// lies in element e.
+func (f *Field) EvalIn(e int, p geom.Point) float64 {
+	r, s := f.Mesh.Triangle(e).InverseMap(p)
+	return f.EvalRef(e, r, s)
+}
+
+// Eval evaluates the field at physical point p by scanning for the
+// containing element (O(NumTris); use EvalIn with a spatial index for bulk
+// evaluation).
+func (f *Field) Eval(p geom.Point) (float64, error) {
+	for e := 0; e < f.Mesh.NumTris(); e++ {
+		if f.Mesh.Triangle(e).Contains(p) {
+			return f.EvalIn(e, p), nil
+		}
+	}
+	return 0, fmt.Errorf("dg: point %v not inside any element", p)
+}
+
+// L2Error returns the broken L2 norm of (field − ref) over the mesh,
+// computed with a rule exact for degree 2P + extraDegree.
+func (f *Field) L2Error(ref func(geom.Point) float64, extraDegree int) float64 {
+	rule := quadrature.TriangleForDegree(2*f.Basis.P + extraDegree)
+	basisAt := make([][]float64, rule.Len())
+	for q, pt := range rule.Points {
+		basisAt[q] = f.Basis.EvalAll(pt.X, pt.Y, make([]float64, f.Basis.N))
+	}
+	total := 0.0
+	for e := 0; e < f.Mesh.NumTris(); e++ {
+		tri := f.Mesh.Triangle(e)
+		jac := 2 * tri.Area()
+		ce := f.ElemCoeffs(e)
+		for q, pt := range rule.Points {
+			v := 0.0
+			for m, c := range ce {
+				v += c * basisAt[q][m]
+			}
+			d := v - ref(tri.MapReference(pt.X, pt.Y))
+			total += rule.Weights[q] * d * d * jac
+		}
+	}
+	return math.Sqrt(total)
+}
+
+// MaxError samples the field at nSamples quadrature points per element and
+// returns the maximum absolute deviation from ref.
+func (f *Field) MaxError(ref func(geom.Point) float64, degree int) float64 {
+	rule := quadrature.TriangleForDegree(degree)
+	worst := 0.0
+	for e := 0; e < f.Mesh.NumTris(); e++ {
+		tri := f.Mesh.Triangle(e)
+		for _, pt := range rule.Points {
+			p := tri.MapReference(pt.X, pt.Y)
+			d := math.Abs(f.EvalRef(e, pt.X, pt.Y) - ref(p))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// L2Norm returns the broken L2 norm of the field itself. With an
+// orthonormal reference basis this is Σ_e (2·Area_e) Σ_m c_{e,m}² up to the
+// affine scaling, computed here exactly from the coefficients.
+func (f *Field) L2Norm() float64 {
+	total := 0.0
+	for e := 0; e < f.Mesh.NumTris(); e++ {
+		jac := 2 * f.Mesh.Triangle(e).Area()
+		ce := f.ElemCoeffs(e)
+		s := 0.0
+		for _, c := range ce {
+			s += c * c
+		}
+		total += jac * s
+	}
+	return math.Sqrt(total)
+}

@@ -1,0 +1,154 @@
+// Package geom provides the 2D geometric primitives used throughout the
+// stencil-evaluation library: points, vectors, axis-aligned boxes, triangles,
+// convex polygons, and the Sutherland–Hodgman clipping algorithm that the
+// post-processor uses to intersect stencil squares with mesh elements.
+//
+// All coordinates are float64. Polygons are stored counter-clockwise (CCW);
+// the clipping and triangulation routines require and preserve that
+// orientation.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane. It doubles as a 2D vector.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Orient returns twice the signed area of triangle (a, b, c): positive when
+// the triple is counter-clockwise, negative when clockwise, and zero when
+// collinear (within floating-point evaluation of the determinant).
+func Orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// AABB is an axis-aligned bounding box. A box with Min components greater
+// than the corresponding Max components is empty.
+type AABB struct {
+	Min, Max Point
+}
+
+// EmptyAABB returns a box that contains nothing; extending it by any point
+// yields a degenerate box around that point.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// Box builds an AABB from explicit bounds.
+func Box(minX, minY, maxX, maxY float64) AABB {
+	return AABB{Min: Point{minX, minY}, Max: Point{maxX, maxY}}
+}
+
+// Extend returns the smallest box containing both b and p.
+func (b AABB) Extend(p Point) AABB {
+	return AABB{
+		Min: Point{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y)},
+		Max: Point{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y)},
+	}
+}
+
+// Union returns the smallest box containing both boxes.
+func (b AABB) Union(c AABB) AABB {
+	return b.Extend(c.Min).Extend(c.Max)
+}
+
+// Pad returns b grown by w on every side.
+func (b AABB) Pad(w float64) AABB {
+	return AABB{
+		Min: Point{b.Min.X - w, b.Min.Y - w},
+		Max: Point{b.Max.X + w, b.Max.Y + w},
+	}
+}
+
+// Translate returns b shifted by d.
+func (b AABB) Translate(d Point) AABB {
+	return AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+}
+
+// Width returns the extent of b along x.
+func (b AABB) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the extent of b along y.
+func (b AABB) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Area returns the area of b, or 0 for an empty box.
+func (b AABB) Area() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return b.Width() * b.Height()
+}
+
+// Center returns the midpoint of b.
+func (b AABB) Center() Point {
+	return Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2}
+}
+
+// Empty reports whether b contains no points.
+func (b AABB) Empty() bool { return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y }
+
+// Contains reports whether p lies inside b (boundary inclusive).
+func (b AABB) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}
+
+// Intersects reports whether b and c share at least one point
+// (touching boundaries count as intersecting).
+func (b AABB) Intersects(c AABB) bool {
+	return b.Min.X <= c.Max.X && c.Min.X <= b.Max.X &&
+		b.Min.Y <= c.Max.Y && c.Min.Y <= b.Max.Y
+}
+
+// Intersect returns the overlap of b and c; the result may be empty.
+func (b AABB) Intersect(c AABB) AABB {
+	return AABB{
+		Min: Point{math.Max(b.Min.X, c.Min.X), math.Max(b.Min.Y, c.Min.Y)},
+		Max: Point{math.Min(b.Max.X, c.Max.X), math.Min(b.Max.Y, c.Max.Y)},
+	}
+}
+
+// Corners returns the four corners of b in CCW order starting at Min.
+func (b AABB) Corners() [4]Point {
+	return [4]Point{
+		b.Min,
+		{b.Max.X, b.Min.Y},
+		b.Max,
+		{b.Min.X, b.Max.Y},
+	}
+}
+
+// String implements fmt.Stringer.
+func (b AABB) String() string {
+	return fmt.Sprintf("[%v - %v]", b.Min, b.Max)
+}

@@ -1,0 +1,192 @@
+package geom
+
+// Polygon is a simple polygon stored as a CCW vertex loop. The clipping
+// routines in this package only produce convex polygons, but Area and
+// Centroid are valid for any simple CCW polygon.
+type Polygon []Point
+
+// Area returns the (positive) area of a CCW polygon via the shoelace
+// formula. For polygons with fewer than 3 vertices it returns 0.
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i, a := range p {
+		b := p[(i+1)%len(p)]
+		sum += a.Cross(b)
+	}
+	return sum / 2
+}
+
+// Centroid returns the area centroid of a CCW polygon. Degenerate polygons
+// (area ~ 0) fall back to the vertex average.
+func (p Polygon) Centroid() Point {
+	a := p.Area()
+	if a < 1e-300 {
+		var c Point
+		for _, v := range p {
+			c = c.Add(v)
+		}
+		if len(p) > 0 {
+			c = c.Scale(1 / float64(len(p)))
+		}
+		return c
+	}
+	var cx, cy float64
+	for i, v := range p {
+		w := p[(i+1)%len(p)]
+		cr := v.Cross(w)
+		cx += (v.X + w.X) * cr
+		cy += (v.Y + w.Y) * cr
+	}
+	f := 1 / (6 * a)
+	return Point{cx * f, cy * f}
+}
+
+// Bounds returns the bounding box of the polygon.
+func (p Polygon) Bounds() AABB {
+	b := EmptyAABB()
+	for _, v := range p {
+		b = b.Extend(v)
+	}
+	return b
+}
+
+// Translate returns a copy of p shifted by d.
+func (p Polygon) Translate(d Point) Polygon {
+	out := make(Polygon, len(p))
+	for i, v := range p {
+		out[i] = v.Add(d)
+	}
+	return out
+}
+
+// Clipper clips subject polygons against a fixed convex clip region using
+// the Sutherland–Hodgman reentrant clipping algorithm (Sutherland & Hodgman,
+// CACM 1974; Algorithm 1 in the paper). A Clipper is reusable: it owns the
+// scratch buffers, so repeated Clip calls perform no allocations once the
+// buffers have grown to a steady size. A Clipper is not safe for concurrent
+// use; create one per worker.
+type Clipper struct {
+	in, out Polygon
+}
+
+// clipEdge holds one directed edge (a -> b) of the CCW clip polygon.
+// Points strictly left of the edge are inside.
+type clipEdge struct {
+	a, b Point
+}
+
+func (e clipEdge) inside(p Point) bool {
+	// >= keeps points exactly on the boundary, matching the paper's
+	// treatment of stencil-node breaks: zero-area slivers are later
+	// discarded by the area filter in SplitFan.
+	return Orient(e.a, e.b, p) >= 0
+}
+
+// intersect returns the intersection of segment (s, p) with the infinite
+// line through the clip edge. The caller guarantees s and p are on opposite
+// sides, so the denominator is nonzero up to roundoff.
+func (e clipEdge) intersect(s, p Point) Point {
+	d := p.Sub(s)
+	n := e.b.Sub(e.a)
+	den := n.Cross(d)
+	if den == 0 {
+		return s // parallel within roundoff: either endpoint is on the line
+	}
+	t := n.Cross(s.Sub(e.a)) / -den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return Point{s.X + t*d.X, s.Y + t*d.Y}
+}
+
+// ClipConvex intersects the subject polygon with the convex CCW clip
+// polygon and returns the resulting convex polygon (empty when they do not
+// overlap). The returned slice aliases the Clipper's internal buffer and is
+// only valid until the next call.
+func (c *Clipper) ClipConvex(subject, clip Polygon) Polygon {
+	c.out = append(c.out[:0], subject...)
+	n := len(clip)
+	for i := 0; i < n && len(c.out) > 0; i++ {
+		e := clipEdge{clip[i], clip[(i+1)%n]}
+		c.in = append(c.in[:0], c.out...)
+		c.out = c.out[:0]
+		s := c.in[len(c.in)-1]
+		sIn := e.inside(s)
+		for _, p := range c.in {
+			pIn := e.inside(p)
+			if pIn {
+				if !sIn {
+					c.out = append(c.out, e.intersect(s, p))
+				}
+				c.out = append(c.out, p)
+			} else if sIn {
+				c.out = append(c.out, e.intersect(s, p))
+			}
+			s, sIn = p, pIn
+		}
+	}
+	return c.out
+}
+
+// ClipTriangleBox intersects triangle t with axis-aligned box b. This is the
+// hot path of the post-processor (stencil square × mesh element), so the box
+// clip is specialised: each of the four half-plane tests is a single
+// coordinate comparison. The returned polygon aliases internal buffers.
+func (c *Clipper) ClipTriangleBox(t Triangle, b AABB) Polygon {
+	t = t.CCW()
+	c.out = append(c.out[:0], t.A, t.B, t.C)
+
+	clipAxis := func(get func(Point) float64, limit float64, keepGE bool) {
+		if len(c.out) == 0 {
+			return
+		}
+		c.in = append(c.in[:0], c.out...)
+		c.out = c.out[:0]
+		s := c.in[len(c.in)-1]
+		sv := get(s)
+		sIn := (sv >= limit) == keepGE || sv == limit
+		for _, p := range c.in {
+			pv := get(p)
+			pIn := (pv >= limit) == keepGE || pv == limit
+			if pIn != sIn {
+				// Interpolate the crossing on this axis.
+				tt := (limit - sv) / (pv - sv)
+				c.out = append(c.out, Point{
+					s.X + tt*(p.X-s.X),
+					s.Y + tt*(p.Y-s.Y),
+				})
+			}
+			if pIn {
+				c.out = append(c.out, p)
+			}
+			s, sv, sIn = p, pv, pIn
+		}
+	}
+
+	getX := func(p Point) float64 { return p.X }
+	getY := func(p Point) float64 { return p.Y }
+	clipAxis(getX, b.Min.X, true)  // keep x >= min
+	clipAxis(getX, b.Max.X, false) // keep x <= max
+	clipAxis(getY, b.Min.Y, true)  // keep y >= min
+	clipAxis(getY, b.Max.Y, false) // keep y <= max
+	return c.out
+}
+
+// SplitFan triangulates the convex polygon p into len(p)-2 triangles fanned
+// from vertex 0, appending them to dst and returning the extended slice.
+// Triangles with area below minArea (slivers produced by clipping exactly on
+// a boundary) are dropped; pass 0 to keep everything with positive area.
+func SplitFan(p Polygon, dst []Triangle, minArea float64) []Triangle {
+	for i := 1; i+1 < len(p); i++ {
+		t := Triangle{p[0], p[i], p[i+1]}
+		if t.Area() > minArea {
+			dst = append(dst, t.CCW())
+		}
+	}
+	return dst
+}

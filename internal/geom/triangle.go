@@ -1,0 +1,153 @@
+package geom
+
+import "math"
+
+// Triangle is an ordered triple of vertices. Mesh elements are stored CCW;
+// helper routines that require CCW orientation say so explicitly.
+type Triangle struct {
+	A, B, C Point
+}
+
+// Tri is shorthand for Triangle{a, b, c}.
+func Tri(a, b, c Point) Triangle { return Triangle{a, b, c} }
+
+// SignedArea returns the signed area of t (positive when CCW).
+func (t Triangle) SignedArea() float64 { return Orient(t.A, t.B, t.C) / 2 }
+
+// Area returns the absolute area of t.
+func (t Triangle) Area() float64 { return math.Abs(t.SignedArea()) }
+
+// Centroid returns the barycentre of t.
+func (t Triangle) Centroid() Point {
+	return Point{(t.A.X + t.B.X + t.C.X) / 3, (t.A.Y + t.B.Y + t.C.Y) / 3}
+}
+
+// Bounds returns the bounding box of t.
+func (t Triangle) Bounds() AABB {
+	return EmptyAABB().Extend(t.A).Extend(t.B).Extend(t.C)
+}
+
+// Translate returns t shifted by d.
+func (t Triangle) Translate(d Point) Triangle {
+	return Triangle{t.A.Add(d), t.B.Add(d), t.C.Add(d)}
+}
+
+// CCW returns t with vertices reordered counter-clockwise.
+func (t Triangle) CCW() Triangle {
+	if t.SignedArea() < 0 {
+		return Triangle{t.A, t.C, t.B}
+	}
+	return t
+}
+
+// Contains reports whether p lies in t (boundary inclusive). t must be CCW.
+func (t Triangle) Contains(p Point) bool {
+	const eps = 1e-14
+	return Orient(t.A, t.B, p) >= -eps &&
+		Orient(t.B, t.C, p) >= -eps &&
+		Orient(t.C, t.A, p) >= -eps
+}
+
+// LongestEdge returns the length of the longest edge of t.
+func (t Triangle) LongestEdge() float64 {
+	return math.Max(t.A.Dist(t.B), math.Max(t.B.Dist(t.C), t.C.Dist(t.A)))
+}
+
+// ShortestEdge returns the length of the shortest edge of t.
+func (t Triangle) ShortestEdge() float64 {
+	return math.Min(t.A.Dist(t.B), math.Min(t.B.Dist(t.C), t.C.Dist(t.A)))
+}
+
+// Polygon returns the triangle as a CCW polygon.
+func (t Triangle) Polygon() Polygon {
+	t = t.CCW()
+	return Polygon{t.A, t.B, t.C}
+}
+
+// Barycentric returns the barycentric coordinates (wa, wb, wc) of p with
+// respect to t, with wa+wb+wc = 1. For a degenerate triangle the result is
+// NaN-valued.
+func (t Triangle) Barycentric(p Point) (wa, wb, wc float64) {
+	den := Orient(t.A, t.B, t.C)
+	wa = Orient(p, t.B, t.C) / den
+	wb = Orient(t.A, p, t.C) / den
+	wc = 1 - wa - wb
+	return
+}
+
+// FromBarycentric maps barycentric coordinates back to a point in the plane.
+func (t Triangle) FromBarycentric(wa, wb, wc float64) Point {
+	return Point{
+		wa*t.A.X + wb*t.B.X + wc*t.C.X,
+		wa*t.A.Y + wb*t.B.Y + wc*t.C.Y,
+	}
+}
+
+// Circumcircle returns the circumcentre and squared circumradius of t.
+// ok is false when the triangle is (nearly) degenerate.
+func (t Triangle) Circumcircle() (center Point, r2 float64, ok bool) {
+	ax, ay := t.A.X, t.A.Y
+	bx, by := t.B.X-ax, t.B.Y-ay
+	cx, cy := t.C.X-ax, t.C.Y-ay
+	d := 2 * (bx*cy - by*cx)
+	if math.Abs(d) < 1e-300 {
+		return Point{}, 0, false
+	}
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	ux := (cy*b2 - by*c2) / d
+	uy := (bx*c2 - cx*b2) / d
+	return Point{ax + ux, ay + uy}, ux*ux + uy*uy, true
+}
+
+// InCircumcircle reports whether p lies strictly inside the circumcircle of
+// t. t must be CCW for the sign convention used here.
+func (t Triangle) InCircumcircle(p Point) bool {
+	ax, ay := t.A.X-p.X, t.A.Y-p.Y
+	bx, by := t.B.X-p.X, t.B.Y-p.Y
+	cx, cy := t.C.X-p.X, t.C.Y-p.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 0
+}
+
+// AffineFromReference returns the affine map (x0, jac) such that a point
+// (r, s) in the unit reference triangle {(r,s): r,s >= 0, r+s <= 1} maps to
+//
+//	x = x0 + jac * (r, s)
+//
+// where jac is the 2x2 Jacobian [B-A | C-A] stored row-major as
+// [xr xs; yr ys].
+func (t Triangle) AffineFromReference() (x0 Point, jac [4]float64) {
+	x0 = t.A
+	jac = [4]float64{
+		t.B.X - t.A.X, t.C.X - t.A.X,
+		t.B.Y - t.A.Y, t.C.Y - t.A.Y,
+	}
+	return
+}
+
+// MapReference maps reference coordinates (r, s) in the unit triangle to the
+// physical point inside t.
+func (t Triangle) MapReference(r, s float64) Point {
+	return Point{
+		t.A.X + (t.B.X-t.A.X)*r + (t.C.X-t.A.X)*s,
+		t.A.Y + (t.B.Y-t.A.Y)*r + (t.C.Y-t.A.Y)*s,
+	}
+}
+
+// InverseMap maps a physical point p to reference coordinates (r, s) such
+// that t.MapReference(r, s) == p. The triangle must be non-degenerate.
+func (t Triangle) InverseMap(p Point) (r, s float64) {
+	xr := t.B.X - t.A.X
+	xs := t.C.X - t.A.X
+	yr := t.B.Y - t.A.Y
+	ys := t.C.Y - t.A.Y
+	det := xr*ys - xs*yr
+	dx := p.X - t.A.X
+	dy := p.Y - t.A.Y
+	r = (dx*ys - dy*xs) / det
+	s = (dy*xr - dx*yr) / det
+	return
+}

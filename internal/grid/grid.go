@@ -1,0 +1,165 @@
+// Package grid implements the uniform spatial hash grid of paper §3.2. The
+// grid stores point-like items (element centroids for the per-point scheme,
+// evaluation grid points for the per-element scheme) in uniform cells over
+// the unit square and answers "all items in this box" queries, optionally
+// extended by a halo ring of cells.
+//
+// The per-point configuration uses cell size cp >= s (the longest triangle
+// edge), which guarantees enclosure — no triangle spans more than two cells
+// in any dimension — so a one-cell halo around the stencil bounds suffices
+// to find every intersecting element. The per-element configuration stores
+// single points, allowing the smaller cell size ce = s/2 and no halo.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"unstencil/internal/geom"
+)
+
+// HashGrid is a uniform hash grid over the unit square [0,1]². Item ids are
+// the indices of the location slice passed to New. Storage is CSR-style
+// (one flat id array plus per-cell offsets), so construction performs two
+// passes and no per-cell allocations.
+type HashGrid struct {
+	CellSize float64
+	Nx, Ny   int
+	start    []int32 // len Nx*Ny+1; cell c owns ids[start[c]:start[c+1]]
+	ids      []int32
+}
+
+// New builds a hash grid over the unit square containing one item per
+// location. Locations outside [0,1]² are clamped into the edge cells.
+func New(locations []geom.Point, cellSize float64) *HashGrid {
+	if cellSize <= 0 {
+		panic(fmt.Sprintf("grid: cell size must be positive, got %g", cellSize))
+	}
+	if cellSize > 1 {
+		cellSize = 1
+	}
+	n := int(math.Ceil(1 / cellSize))
+	g := &HashGrid{CellSize: cellSize, Nx: n, Ny: n}
+	nc := n * n
+	g.start = make([]int32, nc+1)
+	cellOf := make([]int32, len(locations))
+	for i, p := range locations {
+		c := int32(g.cellIndex(p))
+		cellOf[i] = c
+		g.start[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	g.ids = make([]int32, len(locations))
+	cursor := make([]int32, nc)
+	copy(cursor, g.start[:nc])
+	for i := range locations {
+		c := cellOf[i]
+		g.ids[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return g
+}
+
+// clampCell maps a continuous coordinate to a cell index in [0, n).
+func clampCell(v float64, cell float64, n int) int {
+	i := int(math.Floor(v / cell))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func (g *HashGrid) cellIndex(p geom.Point) int {
+	i := clampCell(p.X, g.CellSize, g.Nx)
+	j := clampCell(p.Y, g.CellSize, g.Ny)
+	return j*g.Nx + i
+}
+
+// NumItems returns the number of stored items.
+func (g *HashGrid) NumItems() int { return len(g.ids) }
+
+// NumCells returns the total cell count.
+func (g *HashGrid) NumCells() int { return g.Nx * g.Ny }
+
+// Cell returns the ids stored in cell (i, j). The slice aliases internal
+// storage and must not be modified.
+func (g *HashGrid) Cell(i, j int) []int32 {
+	c := j*g.Nx + i
+	return g.ids[g.start[c]:g.start[c+1]]
+}
+
+// CellRange returns the inclusive cell-index bounds covering box b extended
+// by halo rings of cells, clamped to the grid (paper Eq. (3): the halo term
+// is the ±1 in the per-point bounds).
+func (g *HashGrid) CellRange(b geom.AABB, halo int) (i0, i1, j0, j1 int) {
+	i0 = clampCell(b.Min.X, g.CellSize, g.Nx) - halo
+	i1 = clampCell(b.Max.X, g.CellSize, g.Nx) + halo
+	j0 = clampCell(b.Min.Y, g.CellSize, g.Ny) - halo
+	j1 = clampCell(b.Max.Y, g.CellSize, g.Ny) + halo
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 >= g.Nx {
+		i1 = g.Nx - 1
+	}
+	if j1 >= g.Ny {
+		j1 = g.Ny - 1
+	}
+	return
+}
+
+// ForEachInBox calls fn for every item stored in a cell overlapping box b
+// extended by halo cells. Items are candidates, not guaranteed hits: the
+// caller performs the precise intersection test, exactly as in the paper's
+// two-phase (grid walk, then clip) structure.
+func (g *HashGrid) ForEachInBox(b geom.AABB, halo int, fn func(id int32)) {
+	i0, i1, j0, j1 := g.CellRange(b, halo)
+	for j := j0; j <= j1; j++ {
+		row := j * g.Nx
+		for i := i0; i <= i1; i++ {
+			c := row + i
+			for _, id := range g.ids[g.start[c]:g.start[c+1]] {
+				fn(id)
+			}
+		}
+	}
+}
+
+// CountInBox returns the number of candidate items ForEachInBox would
+// visit; this is exactly the paper's "number of intersection tests" metric
+// (Table 1).
+func (g *HashGrid) CountInBox(b geom.AABB, halo int) int {
+	i0, i1, j0, j1 := g.CellRange(b, halo)
+	n := 0
+	for j := j0; j <= j1; j++ {
+		row := j * g.Nx
+		for i := i0; i <= i1; i++ {
+			c := row + i
+			n += int(g.start[c+1] - g.start[c])
+		}
+	}
+	return n
+}
+
+// AppendInBox appends candidate ids to dst and returns the extended slice;
+// a zero-allocation alternative to ForEachInBox for hot loops that need the
+// candidates materialised.
+func (g *HashGrid) AppendInBox(dst []int32, b geom.AABB, halo int) []int32 {
+	i0, i1, j0, j1 := g.CellRange(b, halo)
+	for j := j0; j <= j1; j++ {
+		row := j * g.Nx
+		for i := i0; i <= i1; i++ {
+			c := row + i
+			dst = append(dst, g.ids[g.start[c]:g.start[c+1]]...)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,233 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+func TestNewBasics(t *testing.T) {
+	pts := randPoints(100, 1)
+	g := New(pts, 0.25)
+	if g.Nx != 4 || g.Ny != 4 {
+		t.Fatalf("grid dims %dx%d, want 4x4", g.Nx, g.Ny)
+	}
+	if g.NumItems() != 100 {
+		t.Fatalf("NumItems = %d", g.NumItems())
+	}
+	if g.NumCells() != 16 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	// Every item appears exactly once across all cells.
+	seen := map[int32]int{}
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			for _, id := range g.Cell(i, j) {
+				seen[id]++
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("saw %d distinct items", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d appears %d times", id, c)
+		}
+	}
+}
+
+func TestItemsLandInCorrectCell(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), geom.Pt(0.1, 0.9), geom.Pt(0.49, 0.51)}
+	g := New(pts, 0.5)
+	if ids := g.Cell(0, 0); len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("cell(0,0) = %v", ids)
+	}
+	if ids := g.Cell(1, 1); len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("cell(1,1) = %v", ids)
+	}
+	if ids := g.Cell(0, 1); len(ids) != 2 {
+		t.Errorf("cell(0,1) = %v, want items 2 and 3", ids)
+	}
+}
+
+func TestOutOfDomainClamped(t *testing.T) {
+	pts := []geom.Point{geom.Pt(-0.5, 0.5), geom.Pt(1.5, 0.5), geom.Pt(0.5, -3), geom.Pt(0.5, 2)}
+	g := New(pts, 0.5)
+	total := 0
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			total += len(g.Cell(i, j))
+		}
+	}
+	if total != 4 {
+		t.Fatalf("clamped items lost: %d stored", total)
+	}
+}
+
+func TestCellSizeAboveOneClamped(t *testing.T) {
+	g := New(randPoints(10, 2), 5)
+	if g.Nx != 1 || g.Ny != 1 {
+		t.Fatalf("grid dims %dx%d, want 1x1", g.Nx, g.Ny)
+	}
+	if got := g.CountInBox(geom.Box(0.4, 0.4, 0.6, 0.6), 0); got != 10 {
+		t.Fatalf("single-cell grid should return all items, got %d", got)
+	}
+}
+
+func TestNewPanicsOnBadCellSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(nil, 0)
+}
+
+// Property: a box query with halo 0 returns a superset of the brute-force
+// in-box items, and every returned candidate lies in a cell overlapping the
+// box.
+func TestPropQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randPoints(500, 3)
+	g := New(pts, 0.1)
+	for trial := 0; trial < 200; trial++ {
+		x0, y0 := rng.Float64(), rng.Float64()
+		b := geom.Box(x0, y0, x0+rng.Float64()*0.5, y0+rng.Float64()*0.5)
+		got := map[int32]bool{}
+		g.ForEachInBox(b, 0, func(id int32) { got[id] = true })
+		// Superset check: every point actually in the box must be found.
+		for i, p := range pts {
+			if b.Contains(p) && !got[int32(i)] {
+				t.Fatalf("point %d %v in box %v but not returned", i, p, b)
+			}
+		}
+		// Tightness check: candidates are within one cell of the box.
+		pad := b.Pad(g.CellSize * 1.0001)
+		for id := range got {
+			if !pad.Contains(pts[id]) {
+				t.Fatalf("candidate %d %v too far from box %v", id, pts[id], b)
+			}
+		}
+	}
+}
+
+func TestHaloExpandsQuery(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.05, 0.05), geom.Pt(0.35, 0.05), geom.Pt(0.65, 0.05)}
+	g := New(pts, 0.1)
+	b := geom.Box(0.3, 0.0, 0.4, 0.1)
+	if got := g.CountInBox(b, 0); got != 1 {
+		t.Fatalf("halo 0 count = %d, want 1", got)
+	}
+	// Halo 3 reaches the cells at x≈0.05 and x≈0.65.
+	if got := g.CountInBox(b, 3); got != 3 {
+		t.Fatalf("halo 3 count = %d, want 3", got)
+	}
+}
+
+func TestCountMatchesForEach(t *testing.T) {
+	pts := randPoints(300, 4)
+	g := New(pts, 0.07)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		x0, y0 := rng.Float64()-0.2, rng.Float64()-0.2
+		b := geom.Box(x0, y0, x0+rng.Float64(), y0+rng.Float64())
+		halo := rng.Intn(3)
+		n := 0
+		g.ForEachInBox(b, halo, func(int32) { n++ })
+		if c := g.CountInBox(b, halo); c != n {
+			t.Fatalf("CountInBox %d != ForEach count %d", c, n)
+		}
+		ids := g.AppendInBox(nil, b, halo)
+		if len(ids) != n {
+			t.Fatalf("AppendInBox len %d != %d", len(ids), n)
+		}
+	}
+}
+
+func TestAppendInBoxReusesDst(t *testing.T) {
+	pts := randPoints(50, 5)
+	g := New(pts, 0.2)
+	buf := make([]int32, 0, 64)
+	a := g.AppendInBox(buf, geom.Box(0, 0, 1, 1), 0)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	if len(a) != 50 {
+		t.Fatalf("full-domain query returned %d items", len(a))
+	}
+	for i, id := range a {
+		if id != int32(i) {
+			t.Fatalf("missing id %d", i)
+		}
+	}
+}
+
+// Enclosure property from the paper: with cell size >= the longest triangle
+// edge, no triangle's bounding box spans more than two cells per dimension,
+// so a halo of one cell around any query box that touches the triangle's
+// centroid cell is guaranteed to find it.
+func TestPropEnclosureGuarantee(t *testing.T) {
+	m, err := mesh.LowVariance(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.LongestEdge()
+	cents := make([]geom.Point, m.NumTris())
+	for i := range cents {
+		cents[i] = m.Centroid(i)
+	}
+	g := New(cents, s)
+	for i := 0; i < m.NumTris(); i++ {
+		tri := m.Triangle(i)
+		b := tri.Bounds()
+		i0, i1, j0, j1 := g.CellRange(b, 0)
+		if i1-i0 > 1 || j1-j0 > 1 {
+			t.Fatalf("triangle %d spans %dx%d cells; enclosure violated",
+				i, i1-i0+1, j1-j0+1)
+		}
+		// The centroid must be found by querying the triangle bounds with
+		// halo 1.
+		found := false
+		g.ForEachInBox(b, 1, func(id int32) {
+			if id == int32(i) {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("triangle %d centroid missed by halo-1 query", i)
+		}
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	pts := randPoints(10000, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(pts, 0.02)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	pts := randPoints(10000, 6)
+	g := New(pts, 0.02)
+	box := geom.Box(0.4, 0.4, 0.5, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += g.CountInBox(box, 1)
+	}
+	_ = n
+}

@@ -1,0 +1,57 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unstencil/internal/geom"
+)
+
+// Property (testing/quick): for arbitrary query boxes, every stored point
+// inside the box is returned by a halo-0 query — the superset guarantee the
+// evaluator's correctness rests on.
+func TestQuickQuerySuperset(t *testing.T) {
+	pts := randPoints(200, 99)
+	g := New(pts, 0.13)
+	f := func(x0, y0, w, h float64) bool {
+		if math.IsNaN(x0) || math.IsNaN(y0) || math.IsNaN(w) || math.IsNaN(h) {
+			return true
+		}
+		clamp := func(v float64) float64 { return math.Abs(math.Mod(v, 1)) }
+		b := geom.Box(clamp(x0), clamp(y0), clamp(x0)+clamp(w), clamp(y0)+clamp(h))
+		found := map[int32]bool{}
+		g.ForEachInBox(b, 0, func(id int32) { found[id] = true })
+		for i, p := range pts {
+			if b.Contains(p) && !found[int32(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): halo monotonicity — growing the halo never
+// loses candidates.
+func TestQuickHaloMonotone(t *testing.T) {
+	pts := randPoints(150, 5)
+	g := New(pts, 0.09)
+	f := func(x0, y0 float64, halo uint8) bool {
+		if math.IsNaN(x0) || math.IsNaN(y0) {
+			return true
+		}
+		clamp := func(v float64) float64 { return math.Abs(math.Mod(v, 1)) }
+		b := geom.Box(clamp(x0), clamp(y0), clamp(x0)+0.1, clamp(y0)+0.1)
+		h := int(halo % 4)
+		return g.CountInBox(b, h) <= g.CountInBox(b, h+1)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

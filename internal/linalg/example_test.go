@@ -1,0 +1,19 @@
+package linalg_test
+
+import (
+	"fmt"
+
+	"unstencil/internal/linalg"
+)
+
+func ExampleSolve() {
+	a := linalg.NewMatrix(2, 2)
+	copy(a.Data, []float64{2, 1, 1, 3})
+	x, err := linalg.Solve(a, []float64{5, 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f %.2f\n", x[0], x[1])
+	// Output:
+	// 1.00 3.00
+}

@@ -1,0 +1,258 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At wrong")
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Error("Row should be a mutable view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone should be deep")
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(3)
+	x := []float64{1, 2, 3}
+	y := id.MulVec(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("I*x != x: %v", y)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := a.Mul(b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("shape %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Error("transpose values wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	copy(a.Data, []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 4})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSolveRhsLengthMismatch(t *testing.T) {
+	f, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{3, 1, 4, 2}) // det = 2
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-2) > 1e-12 {
+		t.Fatalf("Det = %v, want 2", f.Det())
+	}
+	fi, _ := Factor(Identity(5))
+	if fi.Det() != 1 {
+		t.Fatalf("Det(I) = %v", fi.Det())
+	}
+}
+
+// Property: for random well-conditioned systems, Solve residual is tiny and
+// reconstruction A*x ≈ b holds.
+func TestPropSolveResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Boost the diagonal to keep conditioning reasonable.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res := a.MulVec(x)
+		AXPY(-1, b, res)
+		if Norm2(res) > 1e-9*(1+Norm2(b)) {
+			t.Fatalf("trial %d: residual %v too large", trial, Norm2(res))
+		}
+		diff := make([]float64, n)
+		copy(diff, x)
+		AXPY(-1, xTrue, diff)
+		if Norm2(diff) > 1e-8*(1+Norm2(xTrue)) {
+			t.Fatalf("trial %d: solution error %v too large", trial, Norm2(diff))
+		}
+	}
+}
+
+// Property: P·A = L·U determinant sign bookkeeping — det of a permuted
+// identity is ±1 and solving with it permutes the rhs.
+func TestPermutationMatrixSolve(t *testing.T) {
+	p := NewMatrix(3, 3)
+	p.Set(0, 2, 1)
+	p.Set(1, 0, 1)
+	p.Set(2, 1, 1)
+	x, err := Solve(p, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p*x = b => x = pᵀ*b = (20, 30, 10).
+	want := []float64{20, 30, 10}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-14 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	f, _ := Factor(p)
+	if math.Abs(math.Abs(f.Det())-1) > 1e-14 {
+		t.Fatalf("permutation det = %v", f.Det())
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("Norm2 wrong")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Error("NormInf wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Error("AXPY wrong")
+	}
+}
+
+func TestPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Identity(2).MulVec([]float64{1, 2, 3})
+}
+
+func TestHilbertSolveSmall(t *testing.T) {
+	// Hilbert 6x6 is ill-conditioned but still solvable to a few digits;
+	// this guards against gross pivoting errors.
+	n := 6
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = 1
+	}
+	b := a.MulVec(xTrue)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-6 {
+			t.Fatalf("Hilbert solve x[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func BenchmarkSolve8(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 8
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+10)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

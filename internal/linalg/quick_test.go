@@ -1,0 +1,52 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): for random diagonally-dominant 3x3 systems,
+// Factor+Solve returns a solution whose residual is tiny, and Det matches
+// the cofactor expansion.
+func TestQuickSolve3x3(t *testing.T) {
+	f := func(a0, a1, a2, a3, a4, a5, a6, a7, a8, b0, b1, b2 float64) bool {
+		vals := []float64{a0, a1, a2, a3, a4, a5, a6, a7, a8, b0, b1, b2}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			vals[i] = math.Mod(v, 100)
+		}
+		m := NewMatrix(3, 3)
+		copy(m.Data, vals[:9])
+		// Diagonal dominance keeps the system well conditioned.
+		for i := 0; i < 3; i++ {
+			m.Set(i, i, m.At(i, i)+500)
+		}
+		rhs := vals[9:12]
+		x, err := Solve(m, rhs)
+		if err != nil {
+			return false
+		}
+		res := m.MulVec(x)
+		AXPY(-1, rhs, res)
+		if Norm2(res) > 1e-8*(1+Norm2(rhs)) {
+			return false
+		}
+		// Determinant cross-check via cofactor expansion.
+		det := m.At(0, 0)*(m.At(1, 1)*m.At(2, 2)-m.At(1, 2)*m.At(2, 1)) -
+			m.At(0, 1)*(m.At(1, 0)*m.At(2, 2)-m.At(1, 2)*m.At(2, 0)) +
+			m.At(0, 2)*(m.At(1, 0)*m.At(2, 1)-m.At(1, 1)*m.At(2, 0))
+		fac, err := Factor(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fac.Det()-det) <= 1e-6*(1+math.Abs(det))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

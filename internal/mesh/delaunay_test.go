@@ -1,0 +1,228 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unstencil/internal/geom"
+)
+
+func TestDelaunaySquare(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	m, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTris() != 2 {
+		t.Fatalf("NumTris = %d, want 2", m.NumTris())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-12 {
+		t.Errorf("TotalArea = %v", m.TotalArea())
+	}
+}
+
+func TestDelaunayErrors(t *testing.T) {
+	if _, err := Delaunay([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}); err == nil {
+		t.Error("2 points should error")
+	}
+	if _, err := Delaunay([]geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(0, 0)}); err == nil {
+		t.Error("coincident points should error")
+	}
+	if _, err := Delaunay([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(math.NaN(), 1)}); err == nil {
+		t.Error("NaN point should error")
+	}
+}
+
+func TestDelaunayDuplicatesSkipped(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1), geom.Pt(1, 1), geom.Pt(0, 0)}
+	m, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-12 {
+		t.Errorf("TotalArea = %v", m.TotalArea())
+	}
+}
+
+// The defining Delaunay property: no vertex lies strictly inside any
+// triangle's circumcircle.
+func TestDelaunayEmptyCircumcircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	for i := 0; i < 120; i++ {
+		pts = append(pts, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	m, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumTris(); i++ {
+		tri := m.Triangle(i)
+		c, r2, ok := tri.Circumcircle()
+		if !ok {
+			t.Fatalf("degenerate triangle %d", i)
+		}
+		for vi, v := range m.Verts {
+			d2 := v.Sub(c).Dot(v.Sub(c))
+			if d2 < r2*(1-1e-9) {
+				t.Fatalf("vertex %d %v strictly inside circumcircle of triangle %d",
+					vi, v, i)
+			}
+		}
+	}
+}
+
+// A triangulation of points whose hull is the unit square must cover it:
+// total area 1 and every probe point inside some triangle.
+func TestDelaunayCoversSquare(t *testing.T) {
+	m, err := LowVariance(10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-9 {
+		t.Fatalf("TotalArea = %v", m.TotalArea())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		found := false
+		for i := 0; i < m.NumTris(); i++ {
+			if m.Triangle(i).Contains(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("probe %v not covered", p)
+		}
+	}
+}
+
+// Every interior edge must be shared by exactly two triangles, boundary
+// edges by one (manifold property). Euler's formula V - E + F = 1 holds for
+// a triangulated disc (counting only the interior faces).
+func TestDelaunayTopology(t *testing.T) {
+	m, err := LowVariance(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type edge struct{ a, b int32 }
+	canon := func(a, b int32) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	count := map[edge]int{}
+	for _, tr := range m.Tris {
+		count[canon(tr[0], tr[1])]++
+		count[canon(tr[1], tr[2])]++
+		count[canon(tr[2], tr[0])]++
+	}
+	boundary := 0
+	for e, c := range count {
+		switch c {
+		case 1:
+			boundary++
+		case 2:
+		default:
+			t.Fatalf("edge %v shared by %d triangles", e, c)
+		}
+	}
+	v := m.NumVerts()
+	e := len(count)
+	f := m.NumTris()
+	if v-e+f != 1 {
+		t.Errorf("Euler characteristic V-E+F = %d, want 1 (V=%d E=%d F=%d)",
+			v-e+f, v, e, f)
+	}
+	if boundary < 4 {
+		t.Errorf("only %d boundary edges", boundary)
+	}
+}
+
+func TestDelaunayCollinearBoundaryPoints(t *testing.T) {
+	// Regular boundary subdivision: many exactly-collinear points, the
+	// degenerate case the insertion order is designed to handle.
+	var pts []geom.Point
+	n := 8
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		pts = append(pts, geom.Pt(f, 0), geom.Pt(f, 1), geom.Pt(0, f), geom.Pt(1, f))
+	}
+	pts = append(pts, geom.Pt(0.5, 0.5))
+	m, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-9 {
+		t.Errorf("TotalArea = %v", m.TotalArea())
+	}
+}
+
+func TestDelaunayGridWithCocircularPoints(t *testing.T) {
+	// A perfect lattice has massively cocircular quadruples; the result
+	// must still be a valid covering triangulation (ties broken
+	// arbitrarily).
+	var pts []geom.Point
+	n := 6
+	for j := 0; j <= n; j++ {
+		for i := 0; i <= n; i++ {
+			pts = append(pts, geom.Pt(float64(i)/float64(n), float64(j)/float64(n)))
+		}
+	}
+	m, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-9 {
+		t.Errorf("TotalArea = %v, want 1", m.TotalArea())
+	}
+	if m.NumTris() != 2*n*n {
+		t.Errorf("NumTris = %d, want %d", m.NumTris(), 2*n*n)
+	}
+}
+
+func TestDelaunayLargeRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m, err := LowVariance(40, 77) // ~3200 triangles
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-9 {
+		t.Errorf("TotalArea = %v", m.TotalArea())
+	}
+}
+
+func BenchmarkDelaunay1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Delaunay(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

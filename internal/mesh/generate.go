@@ -1,0 +1,195 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"unstencil/internal/geom"
+)
+
+// Structured returns a structured triangular mesh of the unit square: an
+// n×n grid of cells, each split into two right triangles (2n² triangles).
+func Structured(n int) *Mesh {
+	if n < 1 {
+		panic(fmt.Sprintf("mesh: Structured needs n >= 1, got %d", n))
+	}
+	m := &Mesh{}
+	h := 1 / float64(n)
+	idx := func(i, j int) int32 { return int32(j*(n+1) + i) }
+	for j := 0; j <= n; j++ {
+		for i := 0; i <= n; i++ {
+			m.Verts = append(m.Verts, geom.Pt(float64(i)*h, float64(j)*h))
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a, b := idx(i, j), idx(i+1, j)
+			c, d := idx(i+1, j+1), idx(i, j+1)
+			m.Tris = append(m.Tris, [3]int32{a, b, c}, [3]int32{a, c, d})
+		}
+	}
+	return m
+}
+
+// pointLattice builds the vertex set for the unstructured generators: an
+// (n+1)×(n+1) lattice on [0,1]² whose interior points are jittered by
+// jitter·h and whose coordinates are optionally warped by a monotone map
+// [0,1]→[0,1] (identity when warp is nil). Boundary points stay on the
+// boundary (jittered only tangentially) so the mesh covers the square
+// exactly, and opposite boundaries receive *matching* tangential jitter so
+// boundary vertices pair up under the periodic identification — which is
+// what lets the dG solver wrap fluxes across the domain.
+func pointLattice(n int, jitter float64, warp func(float64) float64, rng *rand.Rand) []geom.Point {
+	if warp == nil {
+		warp = func(x float64) float64 { return x }
+	}
+	h := 1 / float64(n)
+	// Warped lattice coordinates and the local (warped) spacing at each
+	// index; jitter scales with the local spacing so graded regions do not
+	// produce inverted or sliver triangles.
+	ws := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		ws[i] = warp(float64(i) * h)
+	}
+	spacing := func(i int) float64 {
+		lo, hi := i-1, i+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		return (ws[hi] - ws[lo]) / float64(hi-lo)
+	}
+	jx := make([]float64, (n+1)*(n+1))
+	jy := make([]float64, (n+1)*(n+1))
+	at := func(i, j int) int { return j*(n+1) + i }
+	for j := 0; j <= n; j++ {
+		for i := 0; i <= n; i++ {
+			jx[at(i, j)] = (rng.Float64()*2 - 1) * jitter * spacing(i)
+			jy[at(i, j)] = (rng.Float64()*2 - 1) * jitter * spacing(j)
+		}
+	}
+	for k := 0; k <= n; k++ {
+		// Left/right columns: no normal jitter, matching tangential jitter.
+		jx[at(0, k)], jx[at(n, k)] = 0, 0
+		jy[at(n, k)] = jy[at(0, k)]
+		// Bottom/top rows likewise.
+		jy[at(k, 0)], jy[at(k, n)] = 0, 0
+		jx[at(k, n)] = jx[at(k, 0)]
+	}
+	// Corners stay put entirely.
+	for _, c := range [][2]int{{0, 0}, {n, 0}, {0, n}, {n, n}} {
+		jx[at(c[0], c[1])] = 0
+		jy[at(c[0], c[1])] = 0
+	}
+	pts := make([]geom.Point, 0, (n+1)*(n+1))
+	for j := 0; j <= n; j++ {
+		for i := 0; i <= n; i++ {
+			k := at(i, j)
+			pts = append(pts, geom.Pt(clamp01(ws[i]+jx[k]), clamp01(ws[j]+jy[k])))
+		}
+	}
+	return pts
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// LowVariance generates an unstructured mesh with roughly uniform element
+// sizes (paper Fig. 9): a jittered lattice triangulated by Delaunay. The
+// resulting triangle count is 2n². seed makes generation reproducible.
+func LowVariance(n int, seed int64) (*Mesh, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := pointLattice(n, 0.35, nil, rng)
+	return Delaunay(pts)
+}
+
+// HighVariance generates an unstructured mesh with strongly graded element
+// sizes (paper Fig. 10): lattice coordinates are warped so elements near the
+// (0,0) corner are much smaller than near (1,1), then jittered and
+// Delaunay-triangulated. grading >= 1 controls the size ratio (edge lengths
+// vary by roughly a factor of grading across the domain).
+func HighVariance(n int, grading float64, seed int64) (*Mesh, error) {
+	if grading < 1 {
+		grading = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Exponential warp with bounded derivative ratio: warp'(1)/warp'(0) =
+	// e^a = grading, so edge lengths vary by roughly the requested factor
+	// across the domain without a singularity at the origin (a power warp
+	// would make the smallest cells unboundedly small, which distorts the
+	// stencil width h = max edge far beyond the paper's Fig. 10 meshes).
+	var warp func(float64) float64
+	if grading > 1 {
+		a := math.Log(grading)
+		warp = func(t float64) float64 { return (math.Exp(a*t) - 1) / (math.Exp(a) - 1) }
+	}
+	pts := pointLattice(n, 0.3, warp, rng)
+	return Delaunay(pts)
+}
+
+// SizedLowVariance returns a low-variance mesh with approximately the given
+// triangle count (the paper's 4k/16k/64k/256k/1024k series).
+func SizedLowVariance(tris int, seed int64) (*Mesh, error) {
+	n := latticeSideFor(tris)
+	return LowVariance(n, seed)
+}
+
+// SizedHighVariance returns a high-variance mesh with approximately the
+// given triangle count.
+func SizedHighVariance(tris int, grading float64, seed int64) (*Mesh, error) {
+	n := latticeSideFor(tris)
+	return HighVariance(n, grading, seed)
+}
+
+// latticeSideFor returns n such that 2n² ≈ tris.
+func latticeSideFor(tris int) int {
+	n := int(math.Round(math.Sqrt(float64(tris) / 2)))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// JitteredStructured generates an unstructured-topology mesh directly from a
+// jittered lattice using the structured connectivity (no Delaunay pass).
+// With jitter < 0.5 the triangulation remains valid. It is the fast
+// generator for very large meshes where the Delaunay pass is not the object
+// of study.
+func JitteredStructured(n int, jitter float64, seed int64) *Mesh {
+	if jitter < 0 || jitter >= 0.5 {
+		panic(fmt.Sprintf("mesh: jitter must be in [0, 0.5), got %g", jitter))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Mesh{Verts: pointLattice(n, jitter, nil, rng)}
+	idx := func(i, j int) int32 { return int32(j*(n+1) + i) }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a, b := idx(i, j), idx(i+1, j)
+			c, d := idx(i+1, j+1), idx(i, j+1)
+			// Alternate the diagonal pseudo-randomly for a less regular
+			// connectivity pattern.
+			if (i*31+j*17+int(seed))%2 == 0 {
+				m.Tris = append(m.Tris, [3]int32{a, b, c}, [3]int32{a, c, d})
+			} else {
+				m.Tris = append(m.Tris, [3]int32{a, b, d}, [3]int32{b, c, d})
+			}
+		}
+	}
+	for i := range m.Tris {
+		if m.Triangle(i).SignedArea() < 0 {
+			t := m.Tris[i]
+			m.Tris[i] = [3]int32{t[0], t[2], t[1]}
+		}
+	}
+	return m
+}

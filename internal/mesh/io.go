@@ -1,0 +1,72 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"unstencil/internal/geom"
+)
+
+// fileFormat is the on-disk JSON schema. Vertices are flattened to
+// [x0, y0, x1, y1, ...] and triangles to [a0, b0, c0, a1, ...] to keep
+// files compact without a binary format.
+type fileFormat struct {
+	Format string    `json:"format"`
+	Verts  []float64 `json:"verts"`
+	Tris   []int32   `json:"tris"`
+}
+
+const formatName = "unstencil-mesh-v1"
+
+// Encode writes the mesh as JSON to w.
+func Encode(w io.Writer, m *Mesh) error {
+	f := fileFormat{
+		Format: formatName,
+		Verts:  make([]float64, 0, 2*len(m.Verts)),
+		Tris:   make([]int32, 0, 3*len(m.Tris)),
+	}
+	for _, v := range m.Verts {
+		f.Verts = append(f.Verts, v.X, v.Y)
+	}
+	for _, t := range m.Tris {
+		f.Tris = append(f.Tris, t[0], t[1], t[2])
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(&f); err != nil {
+		return fmt.Errorf("mesh: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a mesh previously written by Encode and validates it.
+func Decode(r io.Reader) (*Mesh, error) {
+	var f fileFormat
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("mesh: decode: %w", err)
+	}
+	if f.Format != formatName {
+		return nil, fmt.Errorf("mesh: unknown format %q", f.Format)
+	}
+	if len(f.Verts)%2 != 0 {
+		return nil, fmt.Errorf("mesh: odd vertex array length %d", len(f.Verts))
+	}
+	if len(f.Tris)%3 != 0 {
+		return nil, fmt.Errorf("mesh: triangle array length %d not divisible by 3", len(f.Tris))
+	}
+	m := &Mesh{
+		Verts: make([]geom.Point, len(f.Verts)/2),
+		Tris:  make([][3]int32, len(f.Tris)/3),
+	}
+	for i := range m.Verts {
+		m.Verts[i] = geom.Pt(f.Verts[2*i], f.Verts[2*i+1])
+	}
+	for i := range m.Tris {
+		m.Tris[i] = [3]int32{f.Tris[3*i], f.Tris[3*i+1], f.Tris[3*i+2]}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,394 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"unstencil/internal/geom"
+)
+
+func TestStructuredBasics(t *testing.T) {
+	m := Structured(4)
+	if m.NumTris() != 32 {
+		t.Fatalf("NumTris = %d, want 32", m.NumTris())
+	}
+	if m.NumVerts() != 25 {
+		t.Fatalf("NumVerts = %d, want 25", m.NumVerts())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-12 {
+		t.Errorf("TotalArea = %v, want 1", m.TotalArea())
+	}
+	b := m.Bounds()
+	if b.Min != geom.Pt(0, 0) || b.Max != geom.Pt(1, 1) {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestStructuredStats(t *testing.T) {
+	m := Structured(10)
+	s := m.Stats()
+	if math.Abs(s.MaxEdge-math.Sqrt2*0.1) > 1e-12 {
+		t.Errorf("MaxEdge = %v", s.MaxEdge)
+	}
+	if math.Abs(s.MinEdge-0.1) > 1e-12 {
+		t.Errorf("MinEdge = %v", s.MinEdge)
+	}
+	if s.NumTris != 200 {
+		t.Errorf("NumTris = %d", s.NumTris)
+	}
+	if math.Abs(s.MinAngleDeg-45) > 1e-9 {
+		t.Errorf("MinAngleDeg = %v, want 45", s.MinAngleDeg)
+	}
+	// Stats are cached: a second call returns the same values.
+	s2 := m.Stats()
+	if s != s2 {
+		t.Error("cached stats differ")
+	}
+}
+
+func TestValidateCatchesBadMeshes(t *testing.T) {
+	m := &Mesh{Verts: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}, Tris: [][3]int32{{0, 1, 5}}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Errorf("want out-of-range error, got %v", err)
+	}
+	m = &Mesh{Verts: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}, Tris: [][3]int32{{0, 1, 1}}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "repeated") {
+		t.Errorf("want repeated-vertex error, got %v", err)
+	}
+	// CW triangle: non-positive area.
+	m = &Mesh{Verts: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}, Tris: [][3]int32{{0, 2, 1}}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "area") {
+		t.Errorf("want area error, got %v", err)
+	}
+	m = &Mesh{}
+	if err := m.Validate(); err == nil {
+		t.Error("empty mesh should not validate")
+	}
+}
+
+func TestJitteredStructured(t *testing.T) {
+	m := JitteredStructured(16, 0.3, 7)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTris() != 512 {
+		t.Fatalf("NumTris = %d", m.NumTris())
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-10 {
+		t.Errorf("TotalArea = %v, want 1 (mesh must cover the unit square)", m.TotalArea())
+	}
+	// Boundary vertices must stay on the boundary.
+	b := m.Bounds()
+	if b.Min != geom.Pt(0, 0) || b.Max != geom.Pt(1, 1) {
+		t.Errorf("Bounds = %v, want unit square", b)
+	}
+	// Reproducible for equal seeds, different for different seeds.
+	m2 := JitteredStructured(16, 0.3, 7)
+	if m.Verts[40] != m2.Verts[40] {
+		t.Error("same seed should reproduce the mesh")
+	}
+	m3 := JitteredStructured(16, 0.3, 8)
+	same := 0
+	for i := range m.Verts {
+		if m.Verts[i] == m3.Verts[i] {
+			same++
+		}
+	}
+	if same == len(m.Verts) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestJitteredStructuredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for jitter >= 0.5")
+		}
+	}()
+	JitteredStructured(4, 0.6, 1)
+}
+
+func TestLowVarianceMesh(t *testing.T) {
+	m, err := LowVariance(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalArea()-1) > 1e-9 {
+		t.Errorf("TotalArea = %v, want 1", m.TotalArea())
+	}
+	s := m.Stats()
+	if s.CV > 0.45 {
+		t.Errorf("low-variance mesh has CV %v, expected < 0.45", s.CV)
+	}
+	// Triangle count close to 2n².
+	if m.NumTris() < 250 || m.NumTris() > 300 {
+		t.Errorf("NumTris = %d, want ~288", m.NumTris())
+	}
+}
+
+func TestHighVarianceMesh(t *testing.T) {
+	lv, err := LowVariance(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := HighVariance(12, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hv.TotalArea()-1) > 1e-9 {
+		t.Errorf("TotalArea = %v, want 1", hv.TotalArea())
+	}
+	if hv.Stats().CV <= lv.Stats().CV {
+		t.Errorf("high-variance CV %v should exceed low-variance CV %v",
+			hv.Stats().CV, lv.Stats().CV)
+	}
+	if hv.Stats().AreaRatio < 8 {
+		t.Errorf("high-variance area ratio %v too small", hv.Stats().AreaRatio)
+	}
+}
+
+func TestSizedGenerators(t *testing.T) {
+	m, err := SizedLowVariance(4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTris() < 3400 || m.NumTris() > 4600 {
+		t.Errorf("SizedLowVariance(4000) gave %d triangles", m.NumTris())
+	}
+	hv, err := SizedHighVariance(1000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.NumTris() < 800 || hv.NumTris() > 1200 {
+		t.Errorf("SizedHighVariance(1000) gave %d triangles", hv.NumTris())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := LowVariance(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTris() != m.NumTris() || got.NumVerts() != m.NumVerts() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			got.NumTris(), got.NumVerts(), m.NumTris(), m.NumVerts())
+	}
+	for i := range m.Verts {
+		if m.Verts[i] != got.Verts[i] {
+			t.Fatalf("vertex %d changed", i)
+		}
+	}
+	for i := range m.Tris {
+		if m.Tris[i] != got.Tris[i] {
+			t.Fatalf("triangle %d changed", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should error")
+	}
+	if _, err := Decode(strings.NewReader(`{"format":"bogus"}`)); err == nil {
+		t.Error("unknown format should error")
+	}
+	if _, err := Decode(strings.NewReader(`{"format":"unstencil-mesh-v1","verts":[1],"tris":[]}`)); err == nil {
+		t.Error("odd verts should error")
+	}
+	if _, err := Decode(strings.NewReader(`{"format":"unstencil-mesh-v1","verts":[0,0,1,0,0,1],"tris":[0,1]}`)); err == nil {
+		t.Error("bad tri count should error")
+	}
+}
+
+func TestPartitionBasics(t *testing.T) {
+	m := Structured(8) // 128 triangles
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		ids := Partition(m, k)
+		if len(ids) != m.NumTris() {
+			t.Fatalf("k=%d: len(ids) = %d", k, len(ids))
+		}
+		sizes := PatchSizes(ids, k)
+		minSz, maxSz := m.NumTris(), 0
+		for _, s := range sizes {
+			if s < minSz {
+				minSz = s
+			}
+			if s > maxSz {
+				maxSz = s
+			}
+		}
+		if minSz == 0 {
+			t.Errorf("k=%d: empty patch", k)
+		}
+		if maxSz-minSz > m.NumTris()/k {
+			t.Errorf("k=%d: imbalanced patches %v", k, sizes)
+		}
+	}
+}
+
+func TestPartitionSpatialLocality(t *testing.T) {
+	m := Structured(16)
+	k := 4
+	ids := Partition(m, k)
+	bs := PatchBounds(m, ids, k)
+	// Each patch bounding box should be much smaller than the domain: for
+	// 4 patches of a unit square, area about 1/4 each (allow slack).
+	for i, b := range bs {
+		if b.Area() > 0.5 {
+			t.Errorf("patch %d bounding box area %v too large (poor locality)", i, b.Area())
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k < 1")
+		}
+	}()
+	Partition(Structured(2), 0)
+}
+
+func BenchmarkStructured64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Structured(64)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	m := Structured(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(m, 16)
+	}
+}
+
+func TestPartitionWeighted(t *testing.T) {
+	m := Structured(8)
+	// Give the left half of the domain 10x the weight; the weighted
+	// bisection must put fewer elements into left-side patches.
+	weights := make([]float64, m.NumTris())
+	for e := range weights {
+		if m.Centroid(e).X < 0.5 {
+			weights[e] = 10
+		} else {
+			weights[e] = 1
+		}
+	}
+	ids := PartitionWeighted(m, 4, weights)
+	perPatch := make([]float64, 4)
+	for e, id := range ids {
+		perPatch[id] += weights[e]
+	}
+	total := 0.0
+	for _, w := range perPatch {
+		total += w
+	}
+	for p, w := range perPatch {
+		if w < total/4*0.5 || w > total/4*1.7 {
+			t.Errorf("patch %d weight %v far from balanced share %v", p, w, total/4)
+		}
+	}
+	// Every patch still non-empty.
+	for _, sz := range PatchSizes(ids, 4) {
+		if sz == 0 {
+			t.Error("empty patch")
+		}
+	}
+}
+
+func TestPartitionWeightedPanics(t *testing.T) {
+	m := Structured(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong weight count")
+		}
+	}()
+	PartitionWeighted(m, 2, []float64{1})
+}
+
+// Opposite boundaries of generated meshes must have matching vertex
+// positions so the dG solver can identify them periodically.
+func TestGeneratedBoundariesMatchPeriodically(t *testing.T) {
+	m, err := LowVariance(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left, right, bottom, top []float64
+	for _, v := range m.Verts {
+		switch {
+		case v.X == 0:
+			left = append(left, v.Y)
+		case v.X == 1:
+			right = append(right, v.Y)
+		}
+		switch {
+		case v.Y == 0:
+			bottom = append(bottom, v.X)
+		case v.Y == 1:
+			top = append(top, v.X)
+		}
+	}
+	sort.Float64s(left)
+	sort.Float64s(right)
+	sort.Float64s(bottom)
+	sort.Float64s(top)
+	if len(left) != len(right) || len(bottom) != len(top) {
+		t.Fatalf("boundary vertex counts differ: %d/%d, %d/%d",
+			len(left), len(right), len(bottom), len(top))
+	}
+	for i := range left {
+		if math.Abs(left[i]-right[i]) > 1e-12 {
+			t.Fatalf("left/right boundary mismatch at %d: %v vs %v", i, left[i], right[i])
+		}
+	}
+	for i := range bottom {
+		if math.Abs(bottom[i]-top[i]) > 1e-12 {
+			t.Fatalf("bottom/top boundary mismatch at %d: %v vs %v", i, bottom[i], top[i])
+		}
+	}
+}
+
+func TestHighVarianceGradingMonotone(t *testing.T) {
+	// Stronger grading produces a higher area ratio.
+	mild, err := HighVariance(14, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steep, err := HighVariance(14, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steep.Stats().AreaRatio <= mild.Stats().AreaRatio {
+		t.Errorf("grading 32 area ratio %v should exceed grading 4's %v",
+			steep.Stats().AreaRatio, mild.Stats().AreaRatio)
+	}
+	// Grading 1 degenerates to the unwarped lattice (still valid).
+	flat, err := HighVariance(10, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

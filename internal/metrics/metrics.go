@@ -1,0 +1,116 @@
+// Package metrics defines the instrumentation the experiments report: exact
+// algorithmic counts (intersection tests, true-positive clips, integrated
+// sub-regions, quadrature evaluations) and a deterministic cost model that
+// converts those counts into modeled FLOPs and memory traffic.
+//
+// The counts are exact properties of the algorithm — the same quantities the
+// paper measures (Table 1 counts intersection tests directly). The FLOP
+// model is a documented approximation used to report GFLOP/s-shaped curves
+// (Figs. 11–12): each quadrature evaluation costs two kernel Horner
+// evaluations, one affine inverse map, and one modal-basis dot product. The
+// absolute constants do not matter for the paper's claims; the *ratios*
+// between schemes, polynomial orders and mesh sizes do, and those come from
+// the exact counts.
+package metrics
+
+import "fmt"
+
+// Counters accumulates exact event counts. Use one Counters value per
+// worker goroutine and merge with Add; none of the methods are
+// synchronised.
+type Counters struct {
+	// IntersectionTests counts candidate (stencil, element) pairs examined,
+	// the paper's Table 1 metric.
+	IntersectionTests uint64
+	// TruePositives counts candidate pairs whose geometric intersection was
+	// non-empty.
+	TruePositives uint64
+	// Regions counts triangulated integration sub-regions (τ_n in Eq. (2)).
+	Regions uint64
+	// QuadEvals counts quadrature-point evaluations of the integrand.
+	QuadEvals uint64
+	// Flops accumulates modeled floating-point operations.
+	Flops uint64
+	// BytesRead accumulates modeled memory traffic.
+	BytesRead uint64
+	// BytesUncoalesced is the subset of BytesRead modeled as uncoalesced
+	// (scattered element-data reads in the per-point scheme).
+	BytesUncoalesced uint64
+	// ScatteredLoads counts latency-bound scattered load transactions:
+	// dependent global-memory fetches that cannot be coalesced with
+	// neighbouring lanes (candidate element geometry and modal-coefficient
+	// loads in the per-point scheme; one element-data load per element in
+	// the per-element scheme). On streaming architectures these cost
+	// hundreds of cycles each regardless of size, which is the effect the
+	// paper's data-reuse argument targets.
+	ScatteredLoads uint64
+}
+
+// Add merges o into c.
+func (c *Counters) Add(o *Counters) {
+	c.IntersectionTests += o.IntersectionTests
+	c.TruePositives += o.TruePositives
+	c.Regions += o.Regions
+	c.QuadEvals += o.QuadEvals
+	c.Flops += o.Flops
+	c.BytesRead += o.BytesRead
+	c.BytesUncoalesced += o.BytesUncoalesced
+	c.ScatteredLoads += o.ScatteredLoads
+}
+
+// Reset zeroes all counts.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// String summarises the counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf(
+		"tests=%d hits=%d regions=%d quadEvals=%d flops=%d bytes=%d (uncoalesced %d) scatteredLoads=%d",
+		c.IntersectionTests, c.TruePositives, c.Regions, c.QuadEvals,
+		c.Flops, c.BytesRead, c.BytesUncoalesced, c.ScatteredLoads)
+}
+
+// Cost-model constants (modeled FLOPs per event). See the package comment
+// for the modeling rationale.
+const (
+	// FlopsPerTest models the bounding-box overlap test of one candidate
+	// pair: four interval comparisons plus index arithmetic.
+	FlopsPerTest = 8
+	// FlopsPerClipVertex models one Sutherland–Hodgman half-plane pass
+	// vertex step (orientation test + possible segment intersection).
+	FlopsPerClipVertex = 22
+	// FlopsPerRegion models per-sub-region setup (fan triangulation entry,
+	// affine map assembly, Jacobian).
+	FlopsPerRegion = 24
+)
+
+// NumModes mirrors dg.NumModes to keep this package dependency-free.
+func NumModes(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// FlopsPerQuadEval models one integrand evaluation at polynomial order p
+// with SIAC kernel smoothness k: two kernel Horner evaluations (2k each,
+// multiply-add pairs), the affine inverse map (8), the Dubiner basis
+// evaluation (≈6 ops per mode) and the modal dot product (2 per mode), plus
+// the final triple product and accumulation (4).
+func FlopsPerQuadEval(p, k int) uint64 {
+	return uint64(2*(2*k) + 8 + 8*NumModes(p) + 4)
+}
+
+// Memory-traffic model (paper §3.3–§3.4): the per-point scheme reads the
+// element data, (P+1)(P+2)/2 + 3 float64 values, for every integration; the
+// per-element scheme reads it once per element and only the two grid-point
+// coordinates per integration.
+
+// ElementDataBytes returns the modeled element-data payload in bytes.
+func ElementDataBytes(p int) uint64 {
+	return uint64(NumModes(p)+3) * 8
+}
+
+// PointDataBytes returns the modeled per-candidate read of the per-element
+// scheme (the grid point's spatial offset: two float64s, contiguous by hash
+// cell and therefore coalesced).
+func PointDataBytes() uint64 { return 16 }
+
+// ElementGeometryBytes is the modeled per-candidate read of the per-point
+// scheme: fetching a candidate element's bounding geometry (four float64s)
+// from a scattered location before the overlap test.
+const ElementGeometryBytes = 32

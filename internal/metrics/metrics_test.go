@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdd(t *testing.T) {
+	a := Counters{IntersectionTests: 1, TruePositives: 2, Regions: 3,
+		QuadEvals: 4, Flops: 5, BytesRead: 6, BytesUncoalesced: 7}
+	b := Counters{IntersectionTests: 10, TruePositives: 20, Regions: 30,
+		QuadEvals: 40, Flops: 50, BytesRead: 60, BytesUncoalesced: 70}
+	a.Add(&b)
+	want := Counters{IntersectionTests: 11, TruePositives: 22, Regions: 33,
+		QuadEvals: 44, Flops: 55, BytesRead: 66, BytesUncoalesced: 77}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := Counters{Flops: 5}
+	a.Reset()
+	if a != (Counters{}) {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := Counters{IntersectionTests: 42}
+	if !strings.Contains(a.String(), "tests=42") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestNumModes(t *testing.T) {
+	for p, want := range map[int]int{1: 3, 2: 6, 3: 10} {
+		if NumModes(p) != want {
+			t.Errorf("NumModes(%d) = %d, want %d", p, NumModes(p), want)
+		}
+	}
+}
+
+func TestFlopsPerQuadEvalGrowsWithOrder(t *testing.T) {
+	prev := uint64(0)
+	for p := 1; p <= 4; p++ {
+		f := FlopsPerQuadEval(p, p)
+		if f <= prev {
+			t.Errorf("FlopsPerQuadEval(%d) = %d not increasing", p, f)
+		}
+		prev = f
+	}
+}
+
+func TestElementDataBytes(t *testing.T) {
+	// Paper §3.3: (P+1)(P+2)/2 + 3 values per integration. For P=1: 6
+	// values = 48 bytes.
+	if got := ElementDataBytes(1); got != 48 {
+		t.Errorf("ElementDataBytes(1) = %d, want 48", got)
+	}
+	if got := ElementDataBytes(3); got != (10+3)*8 {
+		t.Errorf("ElementDataBytes(3) = %d", got)
+	}
+	if PointDataBytes() != 16 {
+		t.Error("PointDataBytes should be two float64s")
+	}
+}

@@ -1,0 +1,28 @@
+package quadrature_test
+
+import (
+	"fmt"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/quadrature"
+)
+
+func ExampleGaussLegendre() {
+	r := quadrature.GaussLegendre(2)
+	// Exact for cubics: ∫_{-1}^{1} x² dx = 2/3.
+	sum := 0.0
+	for i, x := range r.Nodes {
+		sum += r.Weights[i] * x * x
+	}
+	fmt.Printf("%.6f\n", sum)
+	// Output:
+	// 0.666667
+}
+
+func ExampleIntegrateTriangle() {
+	tri := geom.Tri(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1))
+	area := quadrature.IntegrateTriangle(func(geom.Point) float64 { return 1 }, tri, 0)
+	fmt.Printf("%.2f\n", area)
+	// Output:
+	// 0.50
+}

@@ -1,0 +1,205 @@
+// Package quadrature provides Gauss–Legendre rules on intervals, tensor
+// rules on rectangles, and collapsed (Duffy) rules on triangles. These rules
+// integrate the piecewise-polynomial integrands of SIAC post-processing
+// exactly: within a single stencil square × mesh element sub-region the
+// integrand is a polynomial, so a rule of sufficient degree makes Eq. (2) of
+// the paper exact up to roundoff.
+package quadrature
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"unstencil/internal/geom"
+)
+
+// Rule1D is a quadrature rule on [-1, 1].
+type Rule1D struct {
+	Nodes   []float64
+	Weights []float64
+}
+
+var (
+	glMu    sync.Mutex
+	glCache = map[int]Rule1D{}
+)
+
+// GaussLegendre returns the n-point Gauss–Legendre rule on [-1, 1], exact
+// for polynomials of degree 2n-1. Rules are cached; the returned slices
+// must not be modified.
+func GaussLegendre(n int) Rule1D {
+	if n < 1 {
+		panic(fmt.Sprintf("quadrature: GaussLegendre needs n >= 1, got %d", n))
+	}
+	glMu.Lock()
+	defer glMu.Unlock()
+	if r, ok := glCache[n]; ok {
+		return r
+	}
+	r := computeGaussLegendre(n)
+	glCache[n] = r
+	return r
+}
+
+// computeGaussLegendre finds the roots of P_n by Newton iteration from the
+// Chebyshev-like initial guesses, the standard approach.
+func computeGaussLegendre(n int) Rule1D {
+	nodes := make([]float64, n)
+	weights := make([]float64, n)
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Initial guess (Abramowitz & Stegun 25.4.30 vicinity).
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, 0.0
+			// Legendre recurrence: (j+1)P_{j+1} = (2j+1)xP_j - jP_{j-1}.
+			for j := 0; j < n; j++ {
+				p2 := p1
+				p1 = p0
+				p0 = ((2*float64(j)+1)*x*p1 - float64(j)*p2) / (float64(j) + 1)
+			}
+			// Derivative via P'_n = n(xP_n - P_{n-1})/(x^2-1).
+			pp = float64(n) * (x*p0 - p1) / (x*x - 1)
+			dx := p0 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		w := 2 / ((1 - x*x) * pp * pp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	if n%2 == 1 {
+		nodes[n/2] = 0
+	}
+	return Rule1D{Nodes: nodes, Weights: weights}
+}
+
+// Interval returns the rule mapped to [a, b].
+func (r Rule1D) Interval(a, b float64) Rule1D {
+	h := (b - a) / 2
+	mid := (a + b) / 2
+	out := Rule1D{
+		Nodes:   make([]float64, len(r.Nodes)),
+		Weights: make([]float64, len(r.Weights)),
+	}
+	for i, x := range r.Nodes {
+		out.Nodes[i] = mid + h*x
+		out.Weights[i] = r.Weights[i] * h
+	}
+	return out
+}
+
+// Integrate1D integrates f over [a, b] with an n-point Gauss rule.
+func Integrate1D(f func(float64) float64, a, b float64, n int) float64 {
+	r := GaussLegendre(n)
+	h := (b - a) / 2
+	mid := (a + b) / 2
+	s := 0.0
+	for i, x := range r.Nodes {
+		s += r.Weights[i] * f(mid+h*x)
+	}
+	return s * h
+}
+
+// Rule2D is a quadrature rule over a 2D reference domain. For triangle
+// rules the reference domain is the unit triangle {(r,s): r,s>=0, r+s<=1}
+// and the weights sum to 1/2 (its area).
+type Rule2D struct {
+	Points  []geom.Point
+	Weights []float64
+}
+
+// Len returns the number of quadrature points.
+func (r Rule2D) Len() int { return len(r.Points) }
+
+// TensorRectangle returns an n×n Gauss rule on the rectangle b, exact for
+// polynomials of degree 2n-1 in each variable.
+func TensorRectangle(b geom.AABB, n int) Rule2D {
+	gx := GaussLegendre(n).Interval(b.Min.X, b.Max.X)
+	gy := GaussLegendre(n).Interval(b.Min.Y, b.Max.Y)
+	out := Rule2D{
+		Points:  make([]geom.Point, 0, n*n),
+		Weights: make([]float64, 0, n*n),
+	}
+	for i, x := range gx.Nodes {
+		for j, y := range gy.Nodes {
+			out.Points = append(out.Points, geom.Pt(x, y))
+			out.Weights = append(out.Weights, gx.Weights[i]*gy.Weights[j])
+		}
+	}
+	return out
+}
+
+var (
+	triMu    sync.Mutex
+	triCache = map[int]Rule2D{}
+)
+
+// TriangleForDegree returns a rule on the unit reference triangle exact for
+// bivariate polynomials of total degree <= deg. It is built by the Duffy
+// (collapsed-coordinate) transform of a tensor Gauss rule: the substitution
+// r = u(1-v), s = v turns a degree-d polynomial into polynomials of degree
+// <= d in u and <= d+1 in v (including the (1-v) Jacobian), so n =
+// ceil((deg+2)/2) Gauss points per direction suffice. Rules are cached; do
+// not modify the returned slices.
+func TriangleForDegree(deg int) Rule2D {
+	if deg < 0 {
+		deg = 0
+	}
+	triMu.Lock()
+	defer triMu.Unlock()
+	if r, ok := triCache[deg]; ok {
+		return r
+	}
+	n := (deg + 3) / 2 // ceil((deg+2)/2)
+	g := GaussLegendre(n).Interval(0, 1)
+	out := Rule2D{
+		Points:  make([]geom.Point, 0, n*n),
+		Weights: make([]float64, 0, n*n),
+	}
+	for i, u := range g.Nodes {
+		for j, v := range g.Nodes {
+			out.Points = append(out.Points, geom.Pt(u*(1-v), v))
+			out.Weights = append(out.Weights, g.Weights[i]*g.Weights[j]*(1-v))
+		}
+	}
+	triCache[deg] = out
+	return out
+}
+
+// OnTriangle maps a reference-triangle rule to the physical triangle t,
+// returning physical points and weights such that
+//
+//	∫_t f ≈ Σ w_i f(x_i).
+//
+// The reference weights sum to 1/2; the affine Jacobian is 2·Area(t).
+func (r Rule2D) OnTriangle(t geom.Triangle) Rule2D {
+	jac := 2 * t.Area()
+	out := Rule2D{
+		Points:  make([]geom.Point, len(r.Points)),
+		Weights: make([]float64, len(r.Weights)),
+	}
+	for i, p := range r.Points {
+		out.Points[i] = t.MapReference(p.X, p.Y)
+		out.Weights[i] = r.Weights[i] * jac
+	}
+	return out
+}
+
+// IntegrateTriangle integrates f over the physical triangle t with a rule
+// exact to the given total degree.
+func IntegrateTriangle(f func(geom.Point) float64, t geom.Triangle, deg int) float64 {
+	r := TriangleForDegree(deg)
+	jac := 2 * t.Area()
+	s := 0.0
+	for i, p := range r.Points {
+		s += r.Weights[i] * f(t.MapReference(p.X, p.Y))
+	}
+	return s * jac
+}

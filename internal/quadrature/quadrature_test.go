@@ -1,0 +1,247 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/geom"
+)
+
+func TestGaussLegendreSmall(t *testing.T) {
+	// n=1: node 0, weight 2.
+	r := GaussLegendre(1)
+	if len(r.Nodes) != 1 || math.Abs(r.Nodes[0]) > 1e-15 || math.Abs(r.Weights[0]-2) > 1e-15 {
+		t.Fatalf("GL(1) = %+v", r)
+	}
+	// n=2: nodes ±1/sqrt(3), weights 1.
+	r = GaussLegendre(2)
+	want := 1 / math.Sqrt(3)
+	if math.Abs(r.Nodes[1]-want) > 1e-14 || math.Abs(r.Weights[0]-1) > 1e-14 {
+		t.Fatalf("GL(2) = %+v", r)
+	}
+	// n=3: nodes 0, ±sqrt(3/5); weights 8/9, 5/9.
+	r = GaussLegendre(3)
+	if math.Abs(r.Nodes[2]-math.Sqrt(0.6)) > 1e-14 ||
+		math.Abs(r.Weights[1]-8.0/9) > 1e-14 ||
+		math.Abs(r.Weights[0]-5.0/9) > 1e-14 {
+		t.Fatalf("GL(3) = %+v", r)
+	}
+}
+
+func TestGaussLegendreExactness(t *testing.T) {
+	// n-point rule must integrate x^m exactly for m <= 2n-1.
+	for n := 1; n <= 12; n++ {
+		r := GaussLegendre(n)
+		for m := 0; m <= 2*n-1; m++ {
+			got := 0.0
+			for i, x := range r.Nodes {
+				got += r.Weights[i] * math.Pow(x, float64(m))
+			}
+			want := 0.0
+			if m%2 == 0 {
+				want = 2 / float64(m+1)
+			}
+			if math.Abs(got-want) > 1e-13 {
+				t.Errorf("n=%d m=%d: got %v want %v", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreSymmetry(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		r := GaussLegendre(n)
+		sumW := 0.0
+		for i := range r.Nodes {
+			if math.Abs(r.Nodes[i]+r.Nodes[n-1-i]) > 1e-14 {
+				t.Errorf("n=%d: nodes not symmetric", n)
+			}
+			if math.Abs(r.Weights[i]-r.Weights[n-1-i]) > 1e-14 {
+				t.Errorf("n=%d: weights not symmetric", n)
+			}
+			sumW += r.Weights[i]
+		}
+		if math.Abs(sumW-2) > 1e-13 {
+			t.Errorf("n=%d: weights sum to %v", n, sumW)
+		}
+	}
+}
+
+func TestInterval(t *testing.T) {
+	r := GaussLegendre(4).Interval(1, 3)
+	sum := 0.0
+	for i, x := range r.Nodes {
+		if x < 1 || x > 3 {
+			t.Errorf("node %v outside [1,3]", x)
+		}
+		sum += r.Weights[i]
+	}
+	if math.Abs(sum-2) > 1e-14 {
+		t.Errorf("interval weights sum to %v, want 2", sum)
+	}
+}
+
+func TestIntegrate1D(t *testing.T) {
+	got := Integrate1D(math.Sin, 0, math.Pi, 12)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("∫sin over [0,π] = %v", got)
+	}
+	got = Integrate1D(func(x float64) float64 { return x * x * x }, -1, 2, 3)
+	if math.Abs(got-3.75) > 1e-13 {
+		t.Errorf("∫x³ over [-1,2] = %v, want 3.75", got)
+	}
+}
+
+func TestTensorRectangle(t *testing.T) {
+	b := geom.Box(0, 1, 2, 3)
+	r := TensorRectangle(b, 3)
+	if r.Len() != 9 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	sum := 0.0
+	for i, p := range r.Points {
+		if !b.Contains(p) {
+			t.Errorf("point %v outside box", p)
+		}
+		sum += r.Weights[i]
+	}
+	if math.Abs(sum-b.Area()) > 1e-13 {
+		t.Errorf("weights sum to %v, want %v", sum, b.Area())
+	}
+	// Exactness: ∫ x²y³ over [0,2]x[1,3] = (8/3)*(81-1)/4 = 53.333...
+	got := 0.0
+	for i, p := range r.Points {
+		got += r.Weights[i] * p.X * p.X * p.Y * p.Y * p.Y
+	}
+	want := (8.0 / 3) * 20.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("∫x²y³ = %v, want %v", got, want)
+	}
+}
+
+func TestTriangleRuleWeightSum(t *testing.T) {
+	for deg := 0; deg <= 10; deg++ {
+		r := TriangleForDegree(deg)
+		sum := 0.0
+		for i, p := range r.Points {
+			sum += r.Weights[i]
+			if p.X < 0 || p.Y < 0 || p.X+p.Y > 1+1e-14 {
+				t.Errorf("deg %d: point %v outside unit triangle", deg, p)
+			}
+		}
+		if math.Abs(sum-0.5) > 1e-14 {
+			t.Errorf("deg %d: weights sum to %v, want 0.5", deg, sum)
+		}
+	}
+}
+
+// monomialIntegralUnitTri returns ∫ r^a s^b over the unit triangle:
+// a! b! / (a+b+2)!.
+func monomialIntegralUnitTri(a, b int) float64 {
+	fact := func(n int) float64 {
+		f := 1.0
+		for i := 2; i <= n; i++ {
+			f *= float64(i)
+		}
+		return f
+	}
+	return fact(a) * fact(b) / fact(a+b+2)
+}
+
+func TestTriangleRuleExactness(t *testing.T) {
+	for deg := 0; deg <= 9; deg++ {
+		r := TriangleForDegree(deg)
+		for a := 0; a <= deg; a++ {
+			for b := 0; a+b <= deg; b++ {
+				got := 0.0
+				for i, p := range r.Points {
+					got += r.Weights[i] * math.Pow(p.X, float64(a)) * math.Pow(p.Y, float64(b))
+				}
+				want := monomialIntegralUnitTri(a, b)
+				if math.Abs(got-want) > 1e-14 {
+					t.Errorf("deg=%d r^%d s^%d: got %v want %v", deg, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOnTriangle(t *testing.T) {
+	tri := geom.Tri(geom.Pt(0.5, 0.5), geom.Pt(2.5, 1), geom.Pt(1, 3))
+	r := TriangleForDegree(4).OnTriangle(tri)
+	sum := 0.0
+	for i, p := range r.Points {
+		if !tri.CCW().Contains(p) {
+			t.Errorf("mapped point %v outside triangle", p)
+		}
+		sum += r.Weights[i]
+	}
+	if math.Abs(sum-tri.Area()) > 1e-12 {
+		t.Errorf("physical weights sum to %v, want area %v", sum, tri.Area())
+	}
+}
+
+func TestIntegrateTriangle(t *testing.T) {
+	// ∫ 1 over any triangle = area.
+	tri := geom.Tri(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1))
+	if got := IntegrateTriangle(func(geom.Point) float64 { return 1 }, tri, 0); math.Abs(got-0.5) > 1e-14 {
+		t.Errorf("∫1 = %v", got)
+	}
+	// ∫ x over unit right triangle = 1/6.
+	got := IntegrateTriangle(func(p geom.Point) float64 { return p.X }, tri, 1)
+	if math.Abs(got-1.0/6) > 1e-14 {
+		t.Errorf("∫x = %v, want 1/6", got)
+	}
+	// Translated triangle: ∫ (x-2)(y-3) over tri shifted by (2,3) equals
+	// ∫ x y over the original = 1/24.
+	shift := tri.Translate(geom.Pt(2, 3))
+	got = IntegrateTriangle(func(p geom.Point) float64 { return (p.X - 2) * (p.Y - 3) }, shift, 2)
+	if math.Abs(got-1.0/24) > 1e-13 {
+		t.Errorf("shifted ∫xy = %v, want 1/24", got)
+	}
+}
+
+func TestRuleCachesAreStable(t *testing.T) {
+	a := GaussLegendre(5)
+	b := GaussLegendre(5)
+	if &a.Nodes[0] != &b.Nodes[0] {
+		t.Error("GaussLegendre should return the cached rule")
+	}
+	ta := TriangleForDegree(3)
+	tb := TriangleForDegree(3)
+	if &ta.Points[0] != &tb.Points[0] {
+		t.Error("TriangleForDegree should return the cached rule")
+	}
+}
+
+func TestGaussLegendreHighOrderStable(t *testing.T) {
+	// Even at n=64 the nodes must be sorted, distinct and inside (-1,1).
+	r := GaussLegendre(64)
+	for i := 0; i < len(r.Nodes); i++ {
+		if r.Nodes[i] <= -1 || r.Nodes[i] >= 1 {
+			t.Fatalf("node %d = %v out of range", i, r.Nodes[i])
+		}
+		if i > 0 && r.Nodes[i] <= r.Nodes[i-1] {
+			t.Fatalf("nodes not increasing at %d", i)
+		}
+		if r.Weights[i] <= 0 {
+			t.Fatalf("weight %d = %v not positive", i, r.Weights[i])
+		}
+	}
+}
+
+func BenchmarkTriangleForDegree6(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TriangleForDegree(6)
+	}
+}
+
+func BenchmarkIntegrateTriangle(b *testing.B) {
+	tri := geom.Tri(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1))
+	f := func(p geom.Point) float64 { return p.X*p.Y + p.X*p.X }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IntegrateTriangle(f, tri, 4)
+	}
+}

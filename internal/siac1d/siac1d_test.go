@@ -1,0 +1,226 @@
+package siac1d
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMesh1DBasics(t *testing.T) {
+	m := Uniform(4)
+	if m.NumElems() != 4 || m.H(0) != 0.25 || m.MaxH() != 0.25 {
+		t.Fatalf("uniform mesh wrong: %+v", m)
+	}
+	j := Jittered(10, 0.3, 1)
+	if j.NumElems() != 10 {
+		t.Fatal("jittered elems")
+	}
+	if j.Nodes[0] != 0 || j.Nodes[10] != 1 {
+		t.Fatal("jittered endpoints moved")
+	}
+	for i := 1; i <= 10; i++ {
+		if j.Nodes[i] <= j.Nodes[i-1] {
+			t.Fatal("nodes not increasing")
+		}
+	}
+}
+
+func TestLocate(t *testing.T) {
+	m := Uniform(4)
+	cases := map[float64]int{0: 0, 0.1: 0, 0.25: 1, 0.6: 2, 0.99: 3}
+	for x, want := range cases {
+		if got := m.locate(x); got != want {
+			t.Errorf("locate(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestProjectionExactForPolynomials(t *testing.T) {
+	m := Jittered(7, 0.3, 2)
+	for p := 1; p <= 3; p++ {
+		fn := func(x float64) float64 { return math.Pow(x, float64(p)) - 2*x + 1 }
+		f := Project1D(m, p, fn)
+		for _, x := range []float64{0.05, 0.33, 0.71, 0.97} {
+			if d := math.Abs(f.Eval(x) - fn(x)); d > 1e-12 {
+				t.Errorf("P=%d at %v: error %v", p, x, d)
+			}
+		}
+	}
+}
+
+func TestPostProcessorErrors(t *testing.T) {
+	f := Project1D(Uniform(4), 0, func(x float64) float64 { return 1 })
+	if _, err := NewPostProcessor(f); err == nil {
+		t.Error("P=0 should fail")
+	}
+}
+
+func TestConstantReproduced(t *testing.T) {
+	f := Project1D(Jittered(9, 0.3, 3), 1, func(float64) float64 { return 4.2 })
+	pp, err := NewPostProcessor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.01, 0.3, 0.77, 0.99} {
+		u, err := pp.Eval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(u-4.2) > 1e-11 {
+			t.Errorf("constant at %v: %v", x, u)
+		}
+	}
+}
+
+// Degree <= P polynomials survive projection exactly and are then
+// reproduced by the kernel at interior points.
+func TestPolynomialReproductionInterior(t *testing.T) {
+	for p := 1; p <= 3; p++ {
+		fn := func(x float64) float64 { return 3*math.Pow(x, float64(p)) + x - 1 }
+		f := Project1D(Uniform(30), p, fn)
+		pp, err := NewPostProcessor(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := pp.Kernel.Support()
+		for _, x := range []float64{0.4, 0.5, 0.6} {
+			if x+pp.H*lo < 0 || x+pp.H*hi > 1 {
+				continue
+			}
+			u, err := pp.Eval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(u - fn(x)); d > 1e-9 {
+				t.Errorf("P=%d at %v: error %v", p, x, d)
+			}
+		}
+	}
+}
+
+// One-sided kernels reproduce degree <= P polynomials at EVERY point,
+// including the boundaries.
+func TestOneSidedReproductionEverywhere(t *testing.T) {
+	for p := 1; p <= 2; p++ {
+		fn := func(x float64) float64 { return math.Pow(x, float64(p)) - 0.5 }
+		f := Project1D(Uniform(24), p, fn)
+		pp, err := NewPostProcessor(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp.OneSided = true
+		for _, x := range []float64{0.003, 0.05, 0.5, 0.95, 0.997} {
+			u, err := pp.Eval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(u - fn(x)); d > 1e-8 {
+				t.Errorf("P=%d one-sided at %v: error %v", p, x, d)
+			}
+		}
+	}
+}
+
+// The headline 1D result: post-processing lifts dG accuracy from O(h^{P+1})
+// to O(h^{2P+1}) for smooth periodic data. With P=2 the rates separate
+// decisively (3 vs 5).
+func TestSuperconvergence1D(t *testing.T) {
+	fn := func(x float64) float64 { return math.Sin(2 * math.Pi * x) }
+	for p := 1; p <= 2; p++ {
+		rates := make([]float64, 0, 2)
+		var prevProj, prevPost float64
+		for _, n := range []int{8, 16, 32} {
+			f := Project1D(Uniform(n), p, fn)
+			pp, err := NewPostProcessor(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var projErr, postErr float64
+			for e := 0; e < n; e++ {
+				x := (float64(e) + 0.37) / float64(n)
+				if d := math.Abs(f.Eval(x) - fn(x)); d > projErr {
+					projErr = d
+				}
+				u, err := pp.Eval(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := math.Abs(u - fn(x)); d > postErr {
+					postErr = d
+				}
+			}
+			if prevPost > 0 {
+				rates = append(rates, math.Log2(prevPost/postErr))
+			}
+			prevProj, prevPost = projErr, postErr
+			_ = prevProj
+		}
+		last := rates[len(rates)-1]
+		t.Logf("P=%d post-processed rates: %v (want ≈ %d)", p, rates, 2*p+1)
+		if last < float64(2*p+1)-0.7 {
+			t.Errorf("P=%d: final rate %.2f below 2P+1 = %d", p, last, 2*p+1)
+		}
+	}
+}
+
+// Post-processing on a nonuniform mesh with h = max element width keeps the
+// accuracy benefit (the paper's unstructured setting, one dimension down).
+func TestNonuniformImprovesError(t *testing.T) {
+	fn := func(x float64) float64 { return math.Sin(2 * math.Pi * x) }
+	f := Project1D(Jittered(32, 0.4, 5), 1, fn)
+	pp, err := NewPostProcessor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after float64
+	for i := 0; i < 64; i++ {
+		x := (float64(i) + 0.5) / 64
+		if d := math.Abs(f.Eval(x) - fn(x)); d > before {
+			before = d
+		}
+		u, err := pp.Eval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(u - fn(x)); d > after {
+			after = d
+		}
+	}
+	t.Logf("nonuniform: before %.3e after %.3e", before, after)
+	if after >= before {
+		t.Errorf("post-processing did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestEvalGrid(t *testing.T) {
+	f := Project1D(Uniform(5), 1, func(x float64) float64 { return x })
+	pp, err := NewPostProcessor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, us, err := pp.EvalGrid(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 15 || len(us) != 15 {
+		t.Fatalf("grid sizes %d/%d", len(xs), len(us))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatal("grid not increasing")
+		}
+	}
+}
+
+func BenchmarkEval1DP2(b *testing.B) {
+	f := Project1D(Uniform(64), 2, func(x float64) float64 { return math.Sin(2 * math.Pi * x) })
+	pp, err := NewPostProcessor(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pp.Eval(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

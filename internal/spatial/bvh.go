@@ -1,0 +1,126 @@
+package spatial
+
+import (
+	"sort"
+
+	"unstencil/internal/geom"
+)
+
+// BVH is a bounding-volume hierarchy over points: items are sorted along a
+// Morton (Z-order) curve and grouped into fixed-size leaves; internal nodes
+// store the bounding box of their subtree. This is the flat "LBVH"
+// construction common in ray tracing, restricted to points.
+type BVH struct {
+	pts   []geom.Point
+	perm  []int32
+	nodes []bvhNode
+}
+
+type bvhNode struct {
+	bounds geom.AABB
+	// left/right index nodes; leaf nodes use lo/hi into perm instead.
+	left, right int32
+	lo, hi      int32
+	leaf        bool
+}
+
+const bvhLeafSize = 8
+
+// NewBVH builds the hierarchy in O(n log n).
+func NewBVH(pts []geom.Point) *BVH {
+	t := &BVH{pts: pts, perm: make([]int32, len(pts))}
+	for i := range t.perm {
+		t.perm[i] = int32(i)
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	b := geom.EmptyAABB()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	sx, sy := b.Width(), b.Height()
+	if sx == 0 {
+		sx = 1
+	}
+	if sy == 0 {
+		sy = 1
+	}
+	key := func(id int32) uint64 {
+		p := t.pts[id]
+		x := uint32((p.X - b.Min.X) / sx * 65535)
+		y := uint32((p.Y - b.Min.Y) / sy * 65535)
+		return interleave(x) | interleave(y)<<1
+	}
+	sort.Slice(t.perm, func(i, j int) bool { return key(t.perm[i]) < key(t.perm[j]) })
+	t.buildRange(0, int32(len(pts)))
+	return t
+}
+
+func interleave(v uint32) uint64 {
+	z := uint64(v)
+	z = (z | z<<16) & 0x0000ffff0000ffff
+	z = (z | z<<8) & 0x00ff00ff00ff00ff
+	z = (z | z<<4) & 0x0f0f0f0f0f0f0f0f
+	z = (z | z<<2) & 0x3333333333333333
+	z = (z | z<<1) & 0x5555555555555555
+	return z
+}
+
+// buildRange appends the subtree for perm[lo:hi] and returns its node id.
+func (t *BVH) buildRange(lo, hi int32) int32 {
+	node := int32(len(t.nodes))
+	t.nodes = append(t.nodes, bvhNode{})
+	if hi-lo <= bvhLeafSize {
+		b := geom.EmptyAABB()
+		for _, id := range t.perm[lo:hi] {
+			b = b.Extend(t.pts[id])
+		}
+		t.nodes[node] = bvhNode{bounds: b, lo: lo, hi: hi, leaf: true}
+		return node
+	}
+	mid := (lo + hi) / 2
+	left := t.buildRange(lo, mid)
+	right := t.buildRange(mid, hi)
+	t.nodes[node] = bvhNode{
+		bounds: t.nodes[left].bounds.Union(t.nodes[right].bounds),
+		left:   left,
+		right:  right,
+	}
+	return node
+}
+
+// ForEachInBox implements Index.
+func (t *BVH) ForEachInBox(b geom.AABB, fn func(id int32)) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.query(0, b, fn)
+}
+
+func (t *BVH) query(node int32, b geom.AABB, fn func(id int32)) {
+	n := &t.nodes[node]
+	if !n.bounds.Intersects(b) {
+		return
+	}
+	if n.leaf {
+		for _, id := range t.perm[n.lo:n.hi] {
+			if b.Contains(t.pts[id]) {
+				fn(id)
+			}
+		}
+		return
+	}
+	t.query(n.left, b, fn)
+	t.query(n.right, b, fn)
+}
+
+// CountInBox implements Index.
+func (t *BVH) CountInBox(b geom.AABB) int {
+	n := 0
+	t.ForEachInBox(b, func(int32) { n++ })
+	return n
+}
+
+// Len implements Index.
+func (t *BVH) Len() int { return len(t.pts) }

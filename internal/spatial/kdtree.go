@@ -1,0 +1,122 @@
+package spatial
+
+import (
+	"sort"
+
+	"unstencil/internal/geom"
+)
+
+// KDTree is a balanced 2D k-d tree over a fixed point set, built by median
+// splits on alternating axes. Nodes are stored in a flat array (heap
+// layout: children of n are 2n+1 and 2n+2), so traversal is pointer-free.
+type KDTree struct {
+	pts []geom.Point
+	// perm holds item ids in tree order; node n owns perm[span[n].lo :
+	// span[n].hi] with the splitting item at span[n].mid.
+	perm []int32
+	// nodes[n] is the split value on the node's axis (depth%2: 0 = x,
+	// 1 = y). Leaves have no split recorded.
+	spans []kdSpan
+}
+
+type kdSpan struct {
+	lo, hi int32 // item range in perm
+	split  float64
+	leaf   bool
+}
+
+// kdLeafSize is the largest bucket a node keeps unsplit; small buckets keep
+// the tree shallow without hurting query pruning.
+const kdLeafSize = 8
+
+// NewKDTree builds the tree in O(n log² n).
+func NewKDTree(pts []geom.Point) *KDTree {
+	t := &KDTree{
+		pts:  pts,
+		perm: make([]int32, len(pts)),
+	}
+	for i := range t.perm {
+		t.perm[i] = int32(i)
+	}
+	// Upper bound on heap nodes for n items with the chosen leaf size.
+	cap := 1
+	for cap < (len(pts)/kdLeafSize+2)*4 {
+		cap *= 2
+	}
+	t.spans = make([]kdSpan, 2*cap)
+	t.build(0, 0, int32(len(pts)), 0)
+	return t
+}
+
+func (t *KDTree) build(node int, lo, hi int32, depth int) {
+	if node >= len(t.spans) {
+		grown := make([]kdSpan, 2*node+2)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
+	if hi-lo <= kdLeafSize {
+		t.spans[node] = kdSpan{lo: lo, hi: hi, leaf: true}
+		return
+	}
+	items := t.perm[lo:hi]
+	axis := depth % 2
+	sort.Slice(items, func(i, j int) bool {
+		a, b := t.pts[items[i]], t.pts[items[j]]
+		if axis == 0 {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	mid := (hi - lo) / 2
+	var split float64
+	if axis == 0 {
+		split = t.pts[items[mid]].X
+	} else {
+		split = t.pts[items[mid]].Y
+	}
+	t.spans[node] = kdSpan{lo: lo, hi: hi, split: split}
+	t.build(2*node+1, lo, lo+mid, depth+1)
+	t.build(2*node+2, lo+mid, hi, depth+1)
+}
+
+// ForEachInBox implements Index.
+func (t *KDTree) ForEachInBox(b geom.AABB, fn func(id int32)) {
+	if len(t.pts) == 0 {
+		return
+	}
+	t.query(0, 0, b, fn)
+}
+
+func (t *KDTree) query(node, depth int, b geom.AABB, fn func(id int32)) {
+	sp := t.spans[node]
+	if sp.leaf {
+		for _, id := range t.perm[sp.lo:sp.hi] {
+			if b.Contains(t.pts[id]) {
+				fn(id)
+			}
+		}
+		return
+	}
+	var lo, hi float64
+	if depth%2 == 0 {
+		lo, hi = b.Min.X, b.Max.X
+	} else {
+		lo, hi = b.Min.Y, b.Max.Y
+	}
+	if lo <= sp.split {
+		t.query(2*node+1, depth+1, b, fn)
+	}
+	if hi >= sp.split {
+		t.query(2*node+2, depth+1, b, fn)
+	}
+}
+
+// CountInBox implements Index.
+func (t *KDTree) CountInBox(b geom.AABB) int {
+	n := 0
+	t.ForEachInBox(b, func(int32) { n++ })
+	return n
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return len(t.pts) }

@@ -1,0 +1,161 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"unstencil/internal/geom"
+)
+
+func uniformPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+// clusteredPoints concentrates 80% of the points in a small disc — the
+// regime where adaptive structures pay off.
+func clusteredPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if i%5 == 0 {
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		} else {
+			pts[i] = geom.Pt(0.2+rng.Float64()*0.05, 0.7+rng.Float64()*0.05)
+		}
+	}
+	return pts
+}
+
+var builders = map[string]func([]geom.Point) Index{
+	"kdtree":   func(p []geom.Point) Index { return NewKDTree(p) },
+	"quadtree": func(p []geom.Point) Index { return NewQuadtree(p) },
+	"bvh":      func(p []geom.Point) Index { return NewBVH(p) },
+}
+
+func sortedIDs(idx Index, b geom.AABB) []int32 {
+	var ids []int32
+	idx.ForEachInBox(b, func(id int32) { ids = append(ids, id) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestIndexesMatchBruteForce(t *testing.T) {
+	for name, build := range builders {
+		for _, gen := range []func(int, int64) []geom.Point{uniformPoints, clusteredPoints} {
+			pts := gen(400, 11)
+			idx := build(pts)
+			ref := NewBruteForce(pts)
+			if idx.Len() != 400 {
+				t.Fatalf("%s: Len = %d", name, idx.Len())
+			}
+			rng := rand.New(rand.NewSource(3))
+			for trial := 0; trial < 100; trial++ {
+				x0, y0 := rng.Float64(), rng.Float64()
+				b := geom.Box(x0, y0, x0+rng.Float64()*0.4, y0+rng.Float64()*0.4)
+				got := sortedIDs(idx, b)
+				want := sortedIDs(ref, b)
+				if len(got) != len(want) {
+					t.Fatalf("%s: box %v returned %d ids, want %d", name, b, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: box %v id mismatch at %d: %d vs %d",
+							name, b, i, got[i], want[i])
+					}
+				}
+				if c := idx.CountInBox(b); c != len(want) {
+					t.Fatalf("%s: CountInBox %d, want %d", name, c, len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestIndexesEmptyAndSingle(t *testing.T) {
+	for name, build := range builders {
+		empty := build(nil)
+		n := 0
+		empty.ForEachInBox(geom.Box(0, 0, 1, 1), func(int32) { n++ })
+		if n != 0 || empty.Len() != 0 {
+			t.Errorf("%s: empty index misbehaves", name)
+		}
+		single := build([]geom.Point{geom.Pt(0.5, 0.5)})
+		if single.CountInBox(geom.Box(0, 0, 1, 1)) != 1 {
+			t.Errorf("%s: single point not found", name)
+		}
+		if single.CountInBox(geom.Box(0.6, 0.6, 1, 1)) != 0 {
+			t.Errorf("%s: phantom point", name)
+		}
+	}
+}
+
+func TestIndexesDuplicatePoints(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Pt(0.25, 0.25)
+	}
+	for name, build := range builders {
+		idx := build(pts)
+		if got := idx.CountInBox(geom.Box(0, 0, 0.5, 0.5)); got != 50 {
+			t.Errorf("%s: found %d of 50 duplicates", name, got)
+		}
+	}
+}
+
+func TestQueryBoundaryInclusive(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.5, 0.5)}
+	b := geom.Box(0.5, 0.5, 1, 1) // point exactly on the corner
+	for name, build := range builders {
+		if got := build(pts).CountInBox(b); got != 1 {
+			t.Errorf("%s: boundary point excluded", name)
+		}
+	}
+}
+
+func benchQueries(b *testing.B, idx Index, window float64) {
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		x0, y0 := rng.Float64()*(1-window), rng.Float64()*(1-window)
+		n += idx.CountInBox(geom.Box(x0, y0, x0+window, y0+window))
+	}
+	_ = n
+}
+
+// The design-choice ablation: compare query cost of every structure on the
+// uniform square-window workload the post-processor generates. Run with
+//
+//	go test -bench Index ./internal/spatial/
+func BenchmarkIndexKDTree(b *testing.B) { benchQueries(b, NewKDTree(uniformPoints(20000, 1)), 0.05) }
+func BenchmarkIndexQuadtree(b *testing.B) {
+	benchQueries(b, NewQuadtree(uniformPoints(20000, 1)), 0.05)
+}
+func BenchmarkIndexBVH(b *testing.B) { benchQueries(b, NewBVH(uniformPoints(20000, 1)), 0.05) }
+
+func BenchmarkBuildKDTree(b *testing.B) {
+	pts := uniformPoints(20000, 1)
+	for i := 0; i < b.N; i++ {
+		NewKDTree(pts)
+	}
+}
+
+func BenchmarkBuildQuadtree(b *testing.B) {
+	pts := uniformPoints(20000, 1)
+	for i := 0; i < b.N; i++ {
+		NewQuadtree(pts)
+	}
+}
+
+func BenchmarkBuildBVH(b *testing.B) {
+	pts := uniformPoints(20000, 1)
+	for i := 0; i < b.N; i++ {
+		NewBVH(pts)
+	}
+}

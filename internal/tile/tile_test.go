@@ -1,0 +1,240 @@
+package tile
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/grid"
+	"unstencil/internal/mesh"
+)
+
+// testSetup builds a mesh, a one-point-per-element grid (centroids) and a
+// marking function that marks every point within pad of an element's
+// bounding box — a miniature of what the evaluator supplies.
+func testSetup(t *testing.T, n int, pad float64) (*mesh.Mesh, []int32, func(e int, markPt func(int32))) {
+	t.Helper()
+	m := mesh.Structured(n)
+	pts := make([]geom.Point, m.NumTris())
+	pointElem := make([]int32, m.NumTris())
+	for i := range pts {
+		pts[i] = m.Centroid(i)
+		pointElem[i] = int32(i)
+	}
+	g := grid.New(pts, m.LongestEdge()/2)
+	mark := func(e int, markPt func(int32)) {
+		box := m.Triangle(e).Bounds().Pad(pad)
+		g.ForEachInBox(box, 0, func(id int32) { markPt(id) })
+	}
+	return m, pointElem, mark
+}
+
+func TestNewTilingBasics(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 8, 0.1)
+	tl := New(m, pointElem, 4, mark)
+	if tl.K != 4 {
+		t.Fatalf("K = %d", tl.K)
+	}
+	total := 0
+	for p := 0; p < 4; p++ {
+		total += len(tl.PatchElems[p])
+	}
+	if total != m.NumTris() {
+		t.Fatalf("patch elements sum to %d, want %d", total, m.NumTris())
+	}
+	if tl.Overhead() < 1 {
+		t.Errorf("overhead %v < 1: every point must be stored at least once", tl.Overhead())
+	}
+}
+
+func TestSlotsConsistent(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 6, 0.15)
+	tl := New(m, pointElem, 3, mark)
+	for p := 0; p < tl.K; p++ {
+		for local, pt := range tl.Slots[p] {
+			if got := tl.Slot(p, pt); got != int32(local) {
+				t.Fatalf("Slot(%d, %d) = %d, want %d", p, pt, got, local)
+			}
+		}
+		// Unmarked points map to -1.
+		seen := map[int32]bool{}
+		for _, pt := range tl.Slots[p] {
+			seen[pt] = true
+		}
+		for pt := int32(0); pt < int32(tl.NumPoints); pt++ {
+			if !seen[pt] && tl.Slot(p, pt) != -1 {
+				t.Fatalf("unmarked point %d has slot %d in patch %d", pt, tl.Slot(p, pt), p)
+			}
+		}
+	}
+}
+
+func TestMarkedCoversOwnElements(t *testing.T) {
+	// Every grid point must be marked by at least the patch owning its
+	// element (the element's own influence region contains its points).
+	m, pointElem, mark := testSetup(t, 8, 0.05)
+	tl := New(m, pointElem, 5, mark)
+	for pt := int32(0); pt < int32(tl.NumPoints); pt++ {
+		owner := tl.ElemPatch[pointElem[pt]]
+		if tl.Slot(owner, pt) < 0 {
+			t.Fatalf("point %d not marked by its owning patch %d", pt, owner)
+		}
+	}
+}
+
+func TestReduceSumsPartials(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 6, 0.2)
+	tl := New(m, pointElem, 4, mark)
+	bufs := tl.NewBuffers()
+	// Write patch-dependent values: buf[p][slot(pt)] = 1000*p + pt.
+	want := make([]float64, tl.NumPoints)
+	for p := 0; p < tl.K; p++ {
+		for _, pt := range tl.Slots[p] {
+			v := float64(1000*p + int(pt))
+			bufs[p][tl.Slot(p, pt)] = v
+			want[pt] += v
+		}
+	}
+	out := make([]float64, tl.NumPoints)
+	tl.Reduce(bufs, out)
+	for pt := range out {
+		if math.Abs(out[pt]-want[pt]) > 1e-12 {
+			t.Fatalf("Reduce[%d] = %v, want %v", pt, out[pt], want[pt])
+		}
+	}
+	// ReduceOwned patch-by-patch must agree with Reduce.
+	out2 := make([]float64, tl.NumPoints)
+	for p := 0; p < tl.K; p++ {
+		tl.ReduceOwned(p, bufs, out2)
+	}
+	for pt := range out2 {
+		if math.Abs(out2[pt]-want[pt]) > 1e-12 {
+			t.Fatalf("ReduceOwned[%d] = %v, want %v", pt, out2[pt], want[pt])
+		}
+	}
+}
+
+func TestReducePanicsOnBadLength(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 4, 0.1)
+	tl := New(m, pointElem, 2, mark)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tl.Reduce(tl.NewBuffers(), make([]float64, 3))
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 4, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(m, pointElem, 0, mark)
+}
+
+// The paper's Fig. 8 property: for a fixed patch count, the relative memory
+// overhead decreases as the mesh grows (boundary-to-area ratio shrinks).
+func TestOverheadDecreasesWithMeshSize(t *testing.T) {
+	overheadAt := func(n int) float64 {
+		m, pointElem, mark := testSetup(t, n, 3.0/float64(n))
+		return New(m, pointElem, 16, mark).Overhead()
+	}
+	small := overheadAt(12)
+	large := overheadAt(36)
+	t.Logf("overhead: n=12 %.3f, n=36 %.3f", small, large)
+	if large >= small {
+		t.Errorf("overhead should shrink with mesh size: %v -> %v", small, large)
+	}
+	if large < 1 {
+		t.Errorf("overhead below 1 is impossible: %v", large)
+	}
+}
+
+// More patches → more boundary → more overhead, but more parallelism.
+func TestOverheadGrowsWithPatchCount(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 16, 0.12)
+	o2 := New(m, pointElem, 2, mark).Overhead()
+	o16 := New(m, pointElem, 16, mark).Overhead()
+	t.Logf("overhead: k=2 %.3f, k=16 %.3f", o2, o16)
+	if o16 <= o2 {
+		t.Errorf("overhead should grow with patch count: k=2 %v, k=16 %v", o2, o16)
+	}
+}
+
+func TestColorsAreProperColoring(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 10, 0.15)
+	tl := New(m, pointElem, 6, mark)
+	colors := tl.Colors()
+	if len(colors) != tl.K {
+		t.Fatalf("got %d colors", len(colors))
+	}
+	for a := 0; a < tl.K; a++ {
+		for b := a + 1; b < tl.K; b++ {
+			if colors[a] != colors[b] {
+				continue
+			}
+			// Same color: influence regions must be disjoint.
+			if slicesIntersect(tl.Slots[a], tl.Slots[b]) {
+				t.Fatalf("patches %d and %d share color %d but overlap", a, b, colors[a])
+			}
+		}
+	}
+}
+
+func TestColorsSinglePatch(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 4, 0.1)
+	tl := New(m, pointElem, 1, mark)
+	if c := tl.Colors(); len(c) != 1 || c[0] != 0 {
+		t.Errorf("single patch colors = %v", c)
+	}
+}
+
+func TestSlicesIntersect(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want bool
+	}{
+		{[]int32{1, 3, 5}, []int32{2, 4, 6}, false},
+		{[]int32{1, 3, 5}, []int32{5, 7}, true},
+		{nil, []int32{1}, false},
+		{[]int32{2}, []int32{2}, true},
+	}
+	for _, c := range cases {
+		if got := slicesIntersect(c.a, c.b); got != c.want {
+			t.Errorf("slicesIntersect(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestPartialValues(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 6, 0.1)
+	tl := New(m, pointElem, 3, mark)
+	n := 0
+	for _, s := range tl.Slots {
+		n += len(s)
+	}
+	if tl.PartialValues() != n {
+		t.Errorf("PartialValues = %d, want %d", tl.PartialValues(), n)
+	}
+}
+
+func TestMeasureOverheadMatchesNew(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 12, 0.12)
+	tl := New(m, pointElem, 8, mark)
+	partials, overhead := MeasureOverhead(m, len(pointElem), 8, mark)
+	if partials != tl.PartialValues() {
+		t.Errorf("MeasureOverhead partials %d != New %d", partials, tl.PartialValues())
+	}
+	if math.Abs(overhead-tl.Overhead()) > 1e-12 {
+		t.Errorf("MeasureOverhead ratio %v != New %v", overhead, tl.Overhead())
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	if popcount(0) != 0 || popcount(0xFF) != 8 || popcount(1<<63) != 1 {
+		t.Error("popcount wrong")
+	}
+}
