@@ -1,0 +1,97 @@
+// Command unstencild runs the resident SIAC post-processing service: an
+// HTTP/JSON API over the paper's per-point and per-element evaluation
+// schemes with a bounded job queue, a worker pool, and an LRU artifact
+// cache that keeps meshes, projected dG fields, SIAC kernel tables and
+// tilings warm across requests.
+//
+// Usage:
+//
+//	unstencild -addr :8080 -workers 4 -queue 128 -cache-mb 256
+//
+// Example session:
+//
+//	curl -sX POST --data-binary @mesh.json localhost:8080/v1/meshes
+//	curl -sX POST -d '{"mesh_id":"<id>","scheme":"per-element","p":2}' localhost:8080/v1/jobs
+//	curl -s localhost:8080/v1/jobs/job-00000001
+//	curl -s localhost:8080/v1/jobs/job-00000001/result
+//	curl -s localhost:8080/debug/metrics
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener stops accepting,
+// queued and running jobs drain (up to -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unstencil/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "job worker pool size")
+		queue        = flag.Int("queue", 64, "bounded job queue capacity")
+		cacheMB      = flag.Int64("cache-mb", 256, "artifact cache budget in MiB")
+		maxBodyMB    = flag.Int64("max-body-mb", 32, "request body limit in MiB")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job evaluation cap")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+		blocks       = flag.Int("blocks", 16, "default blocks/patches for jobs that omit it")
+		evalWorkers  = flag.Int("eval-workers", 0, "per-evaluation concurrency (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheBytes:    *cacheMB << 20,
+		MaxBodyBytes:  *maxBodyMB << 20,
+		JobTimeout:    *jobTimeout,
+		DefaultBlocks: *blocks,
+		EvalWorkers:   *evalWorkers,
+		Log:           log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("unstencild listening", "addr", *addr, "workers", *workers, "queue", *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		log.Info("shutting down", "signal", sig.String())
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "unstencild:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := srv.Manager().Shutdown(ctx); err != nil {
+		log.Warn("job drain incomplete; in-flight jobs cancelled", "err", err)
+		os.Exit(1)
+	}
+	log.Info("drained cleanly")
+}

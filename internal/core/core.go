@@ -74,6 +74,18 @@ const (
 	OneSided
 )
 
+// String implements fmt.Stringer.
+func (b Boundary) String() string {
+	switch b {
+	case Periodic:
+		return "periodic"
+	case OneSided:
+		return "one-sided"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
 // Options configure an Evaluator.
 type Options struct {
 	// P is the dG polynomial order; the SIAC kernel uses B-splines of order
@@ -389,18 +401,4 @@ func (ev *Evaluator) integrate(center geom.Point, e int32, w *worker) float64 {
 		}
 	}
 	return sum / (h * h)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -55,6 +56,14 @@ func (ec *errCollector) set(err error) {
 // Opt.Workers goroutines, each playing the role of a streaming
 // multiprocessor executing its strided share of blocks.
 func (ev *Evaluator) RunPerPoint(nBlocks int) (*Result, error) {
+	return ev.RunPerPointCtx(context.Background(), nBlocks)
+}
+
+// RunPerPointCtx is RunPerPoint with cancellation: when ctx is cancelled or
+// its deadline passes, in-flight workers stop at the next grid point and the
+// run returns ctx's error. Long-running evaluations submitted to a resident
+// service abort promptly rather than running to completion.
+func (ev *Evaluator) RunPerPointCtx(ctx context.Context, nBlocks int) (*Result, error) {
 	if nBlocks < 1 {
 		nBlocks = 1
 	}
@@ -75,6 +84,10 @@ func (ev *Evaluator) RunPerPoint(nBlocks int) (*Result, error) {
 			wk := ev.newWorker()
 			for b := w; b < nBlocks; b += workers {
 				for p := b; p < len(ev.Points); p += nBlocks {
+					if err := ctx.Err(); err != nil {
+						ec.set(err)
+						return
+					}
 					v, err := ev.evalPoint(int32(p), wk)
 					if err != nil {
 						ec.set(err)
@@ -215,6 +228,12 @@ func (ev *Evaluator) influencePad() float64 {
 // solutions into its own scratch-pad, followed by the reduction stage. A
 // nil tiling builds one with k patches equal to Opt.Workers.
 func (ev *Evaluator) RunPerElement(t *tile.Tiling) (*Result, error) {
+	return ev.RunPerElementCtx(context.Background(), t)
+}
+
+// RunPerElementCtx is RunPerElement with cancellation: workers observe ctx
+// between elements and the run returns ctx's error once cancelled.
+func (ev *Evaluator) RunPerElementCtx(ctx context.Context, t *tile.Tiling) (*Result, error) {
 	if t == nil {
 		t = ev.NewTiling(ev.Opt.Workers)
 	}
@@ -237,6 +256,10 @@ func (ev *Evaluator) RunPerElement(t *tile.Tiling) (*Result, error) {
 			for p := w; p < t.K; p += workers {
 				buf := bufs[p]
 				for _, e := range t.PatchElems[p] {
+					if err := ctx.Err(); err != nil {
+						ec.set(err)
+						return
+					}
 					err := ev.processElement(e, wk, func(pt int32, v float64) {
 						sl := t.Slot(p, pt)
 						if sl < 0 {
@@ -328,11 +351,16 @@ func (ev *Evaluator) processElement(e int32, wk *worker, add func(pt int32, v fl
 // Run dispatches on the scheme: PerPoint uses nBlocks logical blocks,
 // PerElement uses a fresh tiling with nBlocks patches.
 func (ev *Evaluator) Run(scheme Scheme, nBlocks int) (*Result, error) {
+	return ev.RunCtx(context.Background(), scheme, nBlocks)
+}
+
+// RunCtx is Run with cancellation; see RunPerPointCtx and RunPerElementCtx.
+func (ev *Evaluator) RunCtx(ctx context.Context, scheme Scheme, nBlocks int) (*Result, error) {
 	switch scheme {
 	case PerPoint:
-		return ev.RunPerPoint(nBlocks)
+		return ev.RunPerPointCtx(ctx, nBlocks)
 	case PerElement:
-		return ev.RunPerElement(ev.NewTiling(nBlocks))
+		return ev.RunPerElementCtx(ctx, ev.NewTiling(nBlocks))
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", scheme)
 	}
@@ -423,6 +451,13 @@ func (ev *Evaluator) evalAt(pos geom.Point, wk *worker) (float64, error) {
 // waves and no reduction stage. The paper reports this trades away overall
 // performance; the tiling ablation quantifies it.
 func (ev *Evaluator) RunPerElementPipelined(t *tile.Tiling) (*Result, error) {
+	return ev.RunPerElementPipelinedCtx(context.Background(), t)
+}
+
+// RunPerElementPipelinedCtx is RunPerElementPipelined with cancellation:
+// workers observe ctx between elements and the run returns ctx's error once
+// cancelled (colour waves already in flight finish their current element).
+func (ev *Evaluator) RunPerElementPipelinedCtx(ctx context.Context, t *tile.Tiling) (*Result, error) {
 	if t == nil {
 		t = ev.NewTiling(ev.Opt.Workers)
 	}
@@ -458,6 +493,10 @@ func (ev *Evaluator) RunPerElementPipelined(t *tile.Tiling) (*Result, error) {
 				for i := w; i < len(wave); i += workers {
 					p := wave[i]
 					for _, e := range t.PatchElems[p] {
+						if err := ctx.Err(); err != nil {
+							ec.set(err)
+							return
+						}
 						err := ev.processElement(e, wk, func(pt int32, v float64) {
 							// In-place accumulation: safe because same-colour
 							// patches have disjoint influence regions.

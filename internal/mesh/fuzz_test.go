@@ -1,0 +1,50 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte strings to Decode, seeded with valid
+// Encode output, asserting Decode never panics and that anything it accepts
+// passes Validate and round-trips Encode→Decode with an identical content
+// hash. Go's fuzzer mutates the seeds, exercising truncation, digit noise in
+// coordinates, and index corruption.
+func FuzzDecode(f *testing.F) {
+	seed := func(m *Mesh) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(Structured(2))
+	seed(Structured(4))
+	if m, err := LowVariance(6, 3); err == nil {
+		seed(m)
+	}
+	f.Add([]byte(`{"format":"unstencil-mesh-v1","verts":[],"tris":[]}`))
+	f.Add([]byte(`{"format":"unstencil-mesh-v1","verts":[0,0,1,0,0,1],"tris":[0,1,2]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Decode accepted a mesh that fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			t.Fatalf("Encode failed on decoded mesh: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-Decode of Encode output failed: %v", err)
+		}
+		if again.ContentHash() != m.ContentHash() {
+			t.Fatal("Encode→Decode round trip changed the content hash")
+		}
+	})
+}

@@ -2,9 +2,12 @@ package mesh
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"unstencil/internal/geom"
 )
@@ -69,4 +72,30 @@ func Decode(r io.Reader) (*Mesh, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// ContentHash returns a hex SHA-256 digest of the mesh's geometry and
+// connectivity (IEEE-754 bit patterns of every vertex, then every triangle
+// index, little-endian). Two meshes hash equal iff their Verts and Tris are
+// identical, which makes the digest a stable cache key for derived artifacts
+// (decoded meshes, projected fields, evaluators, tilings) in long-running
+// services.
+func (m *Mesh) ContentHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(m.Verts)))
+	h.Write(buf[:])
+	for _, v := range m.Verts {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.X))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Y))
+		h.Write(buf[:])
+	}
+	for _, t := range m.Tris {
+		for _, idx := range t {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(idx))
+			h.Write(buf[:4])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -49,7 +49,14 @@ func PartitionWeighted(m *Mesh, k int, weights []float64) []int {
 	next := 0
 	var bisect func(elems []int32, parts int)
 	bisect = func(elems []int32, parts int) {
-		if parts == 1 || len(elems) <= 1 {
+		// More parts than elements: shrink to one part per element; the
+		// surplus patches stay empty (callers tolerate patch ids that
+		// receive no elements). Without this clamp the quota arithmetic
+		// below can demand more elements than the split has.
+		if parts > len(elems) {
+			parts = len(elems)
+		}
+		if parts <= 1 || len(elems) <= 1 {
 			id := next
 			next++
 			for _, e := range elems {

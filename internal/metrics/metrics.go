@@ -21,21 +21,21 @@ import "fmt"
 type Counters struct {
 	// IntersectionTests counts candidate (stencil, element) pairs examined,
 	// the paper's Table 1 metric.
-	IntersectionTests uint64
+	IntersectionTests uint64 `json:"intersection_tests"`
 	// TruePositives counts candidate pairs whose geometric intersection was
 	// non-empty.
-	TruePositives uint64
+	TruePositives uint64 `json:"true_positives"`
 	// Regions counts triangulated integration sub-regions (τ_n in Eq. (2)).
-	Regions uint64
+	Regions uint64 `json:"regions"`
 	// QuadEvals counts quadrature-point evaluations of the integrand.
-	QuadEvals uint64
+	QuadEvals uint64 `json:"quad_evals"`
 	// Flops accumulates modeled floating-point operations.
-	Flops uint64
+	Flops uint64 `json:"flops"`
 	// BytesRead accumulates modeled memory traffic.
-	BytesRead uint64
+	BytesRead uint64 `json:"bytes_read"`
 	// BytesUncoalesced is the subset of BytesRead modeled as uncoalesced
 	// (scattered element-data reads in the per-point scheme).
-	BytesUncoalesced uint64
+	BytesUncoalesced uint64 `json:"bytes_uncoalesced"`
 	// ScatteredLoads counts latency-bound scattered load transactions:
 	// dependent global-memory fetches that cannot be coalesced with
 	// neighbouring lanes (candidate element geometry and modal-coefficient
@@ -43,7 +43,7 @@ type Counters struct {
 	// the per-element scheme). On streaming architectures these cost
 	// hundreds of cycles each regardless of size, which is the effect the
 	// paper's data-reuse argument targets.
-	ScatteredLoads uint64
+	ScatteredLoads uint64 `json:"scattered_loads"`
 }
 
 // Add merges o into c.

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTotalsRecordAndSnapshot(t *testing.T) {
+	tot := NewTotals()
+	tot.Record("per-point", &Counters{IntersectionTests: 3, Flops: 10})
+	tot.Record("per-point", &Counters{IntersectionTests: 2, Flops: 5})
+	tot.Record("per-element", &Counters{Regions: 7})
+
+	snap := tot.Snapshot()
+	pp := snap["per-point"]
+	if pp.Runs != 2 || pp.Counters.IntersectionTests != 5 || pp.Counters.Flops != 15 {
+		t.Errorf("per-point aggregate wrong: %+v", pp)
+	}
+	if pe := snap["per-element"]; pe.Runs != 1 || pe.Counters.Regions != 7 {
+		t.Errorf("per-element aggregate wrong: %+v", pe)
+	}
+
+	// Snapshots are copies: mutating the snapshot must not leak back.
+	pp.Counters.Flops = 999
+	if tot.Snapshot()["per-point"].Counters.Flops != 15 {
+		t.Error("snapshot aliases internal state")
+	}
+
+	tot.Reset()
+	if len(tot.Snapshot()) != 0 {
+		t.Error("Reset left aggregates behind")
+	}
+}
+
+func TestTotalsConcurrent(t *testing.T) {
+	tot := NewTotals()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tot.Record("k", &Counters{QuadEvals: 1})
+				_ = tot.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tot.Snapshot()["k"]; got.Runs != workers*per || got.Counters.QuadEvals != workers*per {
+		t.Errorf("lost updates: %+v", got)
+	}
+}
+
+func TestCountersJSONTags(t *testing.T) {
+	b, err := json.Marshal(Counters{IntersectionTests: 1, ScatteredLoads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]uint64
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"intersection_tests", "true_positives", "regions", "quad_evals",
+		"flops", "bytes_read", "bytes_uncoalesced", "scattered_loads",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshalled Counters missing %q: %s", key, b)
+		}
+	}
+}

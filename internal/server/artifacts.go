@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+	"unstencil/internal/tile"
+)
+
+// Artifacts is the typed façade over the LRU cache. Every derived artifact
+// is keyed by the content hash of the mesh it came from plus the parameters
+// that shaped it, so identical requests — possibly from different clients —
+// share one resident copy:
+//
+//	mesh:<sha256>                                   decoded *mesh.Mesh
+//	field:<sha256>/p<P>/<field>                     projected *dg.Field
+//	eval:<sha256>/p<P>/g<G>/<boundary>/<field>      *core.Evaluator (kernel
+//	                                                tables, grids, points)
+//	tiling:<evalKey>/k<K>                           *tile.Tiling
+//
+// All cached artifacts are immutable after construction and safe to share
+// across concurrently running jobs (Evaluator's Run methods allocate
+// per-goroutine workers; EvalAt, which mutates scratch state, is not used
+// by the service).
+type Artifacts struct {
+	cache *Cache
+	// evalWorkers is stamped into every built Evaluator's Options. It does
+	// not participate in cache keys: worker count affects execution
+	// concurrency, never results.
+	evalWorkers int
+}
+
+// NewArtifacts wraps cache; evalWorkers <= 0 means GOMAXPROCS.
+func NewArtifacts(cache *Cache, evalWorkers int) *Artifacts {
+	return &Artifacts{cache: cache, evalWorkers: evalWorkers}
+}
+
+// FieldFuncs are the analytic input fields a job may request; the service
+// projects them onto the mesh's broken polynomial space once per
+// (mesh, P, field) and caches the result. "sincos" is the paper's periodic
+// test function.
+var FieldFuncs = map[string]func(geom.Point) float64{
+	"sincos": func(p geom.Point) float64 {
+		return math.Sin(2*math.Pi*p.X) * math.Cos(2*math.Pi*p.Y)
+	},
+	"gauss": func(p geom.Point) float64 {
+		dx, dy := p.X-0.5, p.Y-0.5
+		return math.Exp(-(dx*dx + dy*dy) / 0.02)
+	},
+	"poly": func(p geom.Point) float64 {
+		return p.X*p.X + p.Y*p.Y - p.X*p.Y
+	},
+}
+
+// FieldNames returns the supported field kinds, sorted.
+func FieldNames() []string {
+	names := make([]string, 0, len(FieldFuncs))
+	for k := range FieldFuncs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PutMesh stores a decoded mesh and returns its content-hash id.
+func (a *Artifacts) PutMesh(m *mesh.Mesh) string {
+	id := m.ContentHash()
+	a.cache.Put("mesh:"+id, m, meshBytes(m))
+	return id
+}
+
+// Mesh returns the resident mesh with the given content hash, if any. A
+// false return means the mesh was never uploaded or has been evicted and
+// must be re-uploaded.
+func (a *Artifacts) Mesh(id string) (*mesh.Mesh, bool) {
+	v, ok := a.cache.Get("mesh:" + id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*mesh.Mesh), true
+}
+
+// Field returns the projected dG field for (mesh, p, fieldKind), building
+// and caching it on first use. The boolean reports a cache hit.
+func (a *Artifacts) Field(m *mesh.Mesh, meshID string, p int, fieldKind string) (*dg.Field, bool, error) {
+	fn, ok := FieldFuncs[fieldKind]
+	if !ok {
+		return nil, false, fmt.Errorf("unknown field %q (have %v)", fieldKind, FieldNames())
+	}
+	key := fmt.Sprintf("field:%s/p%d/%s", meshID, p, fieldKind)
+	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		f := dg.Project(m, p, fn, 4)
+		return f, int64(len(f.Coeffs))*8 + 256, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*dg.Field), hit, nil
+}
+
+// EvalKey returns the cache key of the evaluator for the given parameters;
+// tilings derive their keys from it.
+func EvalKey(meshID string, p, gridDegree int, boundary core.Boundary, fieldKind string) string {
+	return fmt.Sprintf("eval:%s/p%d/g%d/%v/%s", meshID, p, gridDegree, boundary, fieldKind)
+}
+
+// Evaluator returns the resident core.Evaluator for the given parameters,
+// building mesh-derived state (SIAC kernel tables, computation grid, hash
+// grids) on first use. The boolean reports a cache hit.
+func (a *Artifacts) Evaluator(m *mesh.Mesh, meshID string, p, gridDegree int, boundary core.Boundary, fieldKind string) (*core.Evaluator, bool, error) {
+	f, _, err := a.Field(m, meshID, p, fieldKind)
+	if err != nil {
+		return nil, false, err
+	}
+	key := EvalKey(meshID, p, gridDegree, boundary, fieldKind)
+	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		ev, err := core.NewEvaluator(f, core.Options{
+			P:          p,
+			GridDegree: gridDegree,
+			Boundary:   boundary,
+			Workers:    a.evalWorkers,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return ev, evaluatorBytes(ev), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*core.Evaluator), hit, nil
+}
+
+// Tiling returns the resident k-patch tiling for ev, building it on first
+// use. The boolean reports a cache hit.
+func (a *Artifacts) Tiling(ev *core.Evaluator, evalKey string, k int) (*tile.Tiling, bool, error) {
+	key := fmt.Sprintf("tiling:%s/k%d", evalKey, k)
+	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		t := ev.NewTiling(k)
+		return t, tilingBytes(t), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*tile.Tiling), hit, nil
+}
+
+// Stats exposes the underlying cache counters.
+func (a *Artifacts) Stats() CacheStats { return a.cache.Stats() }
+
+// Rough per-artifact resident-size estimates driving LRU eviction. They
+// only need to be proportional to actual footprint.
+
+func meshBytes(m *mesh.Mesh) int64 {
+	return int64(m.NumVerts())*16 + int64(m.NumTris())*12 + 256
+}
+
+func evaluatorBytes(ev *core.Evaluator) int64 {
+	// Grid points (Elem + Pos), cached element bounds, and two hash grids
+	// (one id plus cell bookkeeping per stored item).
+	return int64(ev.NumPoints())*32 +
+		int64(ev.Mesh.NumTris())*48 +
+		4096
+}
+
+func tilingBytes(t *tile.Tiling) int64 {
+	// Slot lists plus the dense per-patch point->slot index, the dominant
+	// term (K × NumPoints int32s).
+	return int64(t.PartialValues())*8 +
+		int64(t.K)*int64(t.NumPoints)*4 +
+		int64(t.NumPoints)*4 + 1024
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Cache is a size-bounded LRU keyed by string, with hit/miss/eviction
+// counters and duplicate-suppressed builds: concurrent GetOrBuild calls for
+// the same missing key run the builder once and share the result. It holds
+// the service's warm artifacts — decoded meshes, projected dG fields,
+// evaluators (SIAC kernel tables + hash grids), and tilings — so repeated
+// jobs against the same inputs skip their dominant setup cost, the data
+// reuse the paper's argument is built on.
+//
+// Sizes are caller-supplied byte estimates; the cache evicts
+// least-recently-used entries until the running total fits MaxBytes. A
+// single entry larger than MaxBytes is still admitted (alone) so one huge
+// mesh cannot wedge the service.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*buildCall
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+	size  int64
+}
+
+type buildCall struct {
+	done  chan struct{}
+	value any
+	size  int64
+	err   error
+}
+
+// NewCache returns a cache bounded to maxBytes of estimated artifact size.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		panic(fmt.Sprintf("server: cache size must be positive, got %d", maxBytes))
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*buildCall),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put inserts or replaces key, then evicts LRU entries over budget.
+func (c *Cache) Put(key string, value any, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, value, size)
+}
+
+// put inserts with c.mu held.
+func (c *Cache) put(key string, value any, size int64) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.curBytes += size - ent.size
+		ent.value, ent.size = value, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value, size: size})
+		c.curBytes += size
+	}
+	// Evict from the back, but never the entry just touched.
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.curBytes -= ent.size
+		c.evictions++
+	}
+}
+
+// GetOrBuild returns the cached value for key, or runs build to create it.
+// The second return reports whether the value came from cache (a hit).
+// Concurrent calls for the same missing key block on a single build; build
+// errors are returned to every waiter and nothing is cached.
+func (c *Cache) GetOrBuild(key string, build func() (value any, size int64, err error)) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).value
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		// The build succeeded but may already have been evicted; a waiter
+		// still counts as a shared miss and returns the built value
+		// directly.
+		return call.value, false, nil
+	}
+	c.misses++
+	call := &buildCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.value, call.size, call.err = build()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.put(key, call.value, call.size)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.value, false, call.err
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.curBytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

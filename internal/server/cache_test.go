@@ -1,0 +1,148 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(100)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	c.Get("a") // a is now more recently used than b
+	c.Put("c", 3, 40)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should have survived (just inserted)")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCacheAdmitsOversizedEntryAlone(t *testing.T) {
+	c := NewCache(100)
+	c.Put("small", 1, 10)
+	c.Put("huge", 2, 500)
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversized entry must still be admitted")
+	}
+	if _, ok := c.Get("small"); ok {
+		t.Error("small entry should have been evicted to make room")
+	}
+}
+
+func TestCacheReplaceUpdatesSize(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 90)
+	c.Put("a", 2, 10)
+	if st := c.Stats(); st.Bytes != 10 || st.Entries != 1 {
+		t.Fatalf("stats after replace %+v", st)
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("replace did not update value")
+	}
+}
+
+func TestGetOrBuildSingleflight(t *testing.T) {
+	c := NewCache(1000)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrBuild("k", func() (any, int64, error) {
+				builds.Add(1)
+				<-gate // hold the build open so every waiter piles up
+				return "built", 8, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builder ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "built" {
+			t.Errorf("waiter %d got %v", i, v)
+		}
+	}
+	if _, hit, _ := c.GetOrBuild("k", nil); !hit {
+		t.Error("subsequent lookup should hit")
+	}
+}
+
+func TestGetOrBuildErrorNotCached(t *testing.T) {
+	c := NewCache(100)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild("k", func() (any, int64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	calls := 0
+	v, hit, err := c.GetOrBuild("k", func() (any, int64, error) {
+		calls++
+		return 42, 8, nil
+	})
+	if err != nil || hit || v.(int) != 42 || calls != 1 {
+		t.Fatalf("retry after error: v=%v hit=%v err=%v calls=%d", v, hit, err, calls)
+	}
+}
+
+func TestCacheConcurrentChurn(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				if i%3 == 0 {
+					c.Put(key, i, 8)
+				} else {
+					_, _, _ = c.GetOrBuild(key, func() (any, int64, error) { return i, 8, nil })
+				}
+				_ = c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 64 && st.Entries > 1 {
+		t.Errorf("cache over budget after churn: %+v", st)
+	}
+}

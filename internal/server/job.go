@@ -1,0 +1,521 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unstencil/internal/core"
+	"unstencil/internal/metrics"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// JobSpec is the client-facing description of a post-processing job.
+type JobSpec struct {
+	// MeshID references a mesh previously uploaded via POST /v1/meshes.
+	MeshID string `json:"mesh_id"`
+	// Scheme is "per-point" or "per-element".
+	Scheme string `json:"scheme"`
+	// P is the dG polynomial order (1..4).
+	P int `json:"p"`
+	// GridDegree selects the evaluation-grid quadrature rule; 0 means 2P,
+	// negative means the one-point rule (see core.Options.GridDegree).
+	GridDegree int `json:"grid_degree,omitempty"`
+	// Blocks is the logical block count (per-point) or patch count
+	// (per-element); 0 means the server default.
+	Blocks int `json:"blocks,omitempty"`
+	// Boundary is "periodic" (default) or "one-sided".
+	Boundary string `json:"boundary,omitempty"`
+	// Field names the analytic input field to project ("sincos" default).
+	Field string `json:"field,omitempty"`
+	// TimeoutMS caps this job's run time; 0 means the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// normalize validates and defaults the spec.
+func (s *JobSpec) normalize(defaultBlocks int) error {
+	if s.MeshID == "" {
+		return errors.New("mesh_id is required")
+	}
+	switch s.Scheme {
+	case "per-point", "per-element":
+	default:
+		return fmt.Errorf("scheme must be %q or %q, got %q", "per-point", "per-element", s.Scheme)
+	}
+	if s.P < 1 || s.P > 4 {
+		return fmt.Errorf("p must be in 1..4, got %d", s.P)
+	}
+	if s.Blocks == 0 {
+		s.Blocks = defaultBlocks
+	}
+	if s.Blocks < 1 {
+		return fmt.Errorf("blocks must be >= 1, got %d", s.Blocks)
+	}
+	if s.Boundary == "" {
+		s.Boundary = "periodic"
+	}
+	if _, err := parseBoundary(s.Boundary); err != nil {
+		return err
+	}
+	if s.Field == "" {
+		s.Field = "sincos"
+	}
+	if _, ok := FieldFuncs[s.Field]; !ok {
+		return fmt.Errorf("unknown field %q (have %v)", s.Field, FieldNames())
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0, got %d", s.TimeoutMS)
+	}
+	return nil
+}
+
+func parseBoundary(s string) (core.Boundary, error) {
+	switch s {
+	case "periodic":
+		return core.Periodic, nil
+	case "one-sided":
+		return core.OneSided, nil
+	default:
+		return 0, fmt.Errorf("boundary must be %q or %q, got %q", "periodic", "one-sided", s)
+	}
+}
+
+func parseScheme(s string) core.Scheme {
+	if s == "per-point" {
+		return core.PerPoint
+	}
+	return core.PerElement
+}
+
+// Job is one unit of work owned by the Manager.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu        sync.Mutex
+	state     JobState
+	err       error
+	result    *core.Result
+	cacheHits []string // artifact kinds served warm ("evaluator", "tiling")
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+	canceled  bool
+	done      chan struct{}
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID         string            `json:"id"`
+	State      JobState          `json:"state"`
+	Spec       JobSpec           `json:"spec"`
+	Error      string            `json:"error,omitempty"`
+	CacheHits  []string          `json:"cache_hits,omitempty"`
+	NumPoints  int               `json:"num_points,omitempty"`
+	WallMS     float64           `json:"wall_ms,omitempty"`
+	MemOverhd  float64           `json:"memory_overhead,omitempty"`
+	Counters   *metrics.Counters `json:"counters,omitempty"`
+	CreatedAt  time.Time         `json:"created_at"`
+	StartedAt  *time.Time        `json:"started_at,omitempty"`
+	FinishedAt *time.Time        `json:"finished_at,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		State:     j.state,
+		Spec:      j.Spec,
+		CacheHits: append([]string(nil), j.cacheHits...),
+		CreatedAt: j.created,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.result != nil {
+		st.NumPoints = len(j.result.Solution)
+		st.WallMS = float64(j.result.Wall) / float64(time.Millisecond)
+		st.MemOverhd = j.result.MemoryOverhead
+		c := j.result.Total
+		st.Counters = &c
+	}
+	return st
+}
+
+// Result returns the run result once the job is done.
+func (j *Job) Result() (*core.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.result == nil {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Errors returned by Manager.Submit.
+var (
+	ErrQueueFull    = errors.New("job queue full")
+	ErrShuttingDown = errors.New("server shutting down")
+)
+
+// Manager owns the bounded FIFO job queue, the worker pool executing jobs,
+// and the job registry. Jobs resolve their artifacts through the shared
+// Artifacts cache and run core evaluations under a cancellable,
+// deadline-capped context.
+type Manager struct {
+	arts       *Artifacts
+	log        *slog.Logger
+	queue      chan *Job
+	workers    int
+	jobTimeout time.Duration
+	defBlocks  int
+	maxJobs    int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	busy   atomic.Int64
+	totals *metrics.Totals
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for bounded retention
+	nextID  uint64
+	closing bool
+}
+
+// ManagerConfig configures NewManager; zero fields take defaults.
+type ManagerConfig struct {
+	Workers      int           // worker goroutines (default 2)
+	QueueSize    int           // bounded FIFO capacity (default 64)
+	JobTimeout   time.Duration // per-job cap (default 5m)
+	DefaultBlock int           // default blocks/patches (default 16)
+	MaxJobs      int           // retained job records (default 4096)
+}
+
+// NewManager starts the worker pool.
+func NewManager(arts *Artifacts, log *slog.Logger, cfg ManagerConfig) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 5 * time.Minute
+	}
+	if cfg.DefaultBlock <= 0 {
+		cfg.DefaultBlock = 16
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		arts:       arts,
+		log:        log,
+		queue:      make(chan *Job, cfg.QueueSize),
+		workers:    cfg.Workers,
+		jobTimeout: cfg.JobTimeout,
+		defBlocks:  cfg.DefaultBlock,
+		maxJobs:    cfg.MaxJobs,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		totals:     metrics.NewTotals(),
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates spec, enqueues a job and returns it. ErrQueueFull means
+// the bounded queue is at capacity (the caller should surface 503);
+// ErrShuttingDown means graceful shutdown has begun.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.normalize(m.defBlocks); err != nil {
+		return nil, err
+	}
+	if _, ok := m.arts.Mesh(spec.MeshID); !ok {
+		return nil, fmt.Errorf("mesh %q not resident (upload it via POST /v1/meshes): %w",
+			spec.MeshID, ErrMeshNotFound)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closing {
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%08d", m.nextID),
+		Spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	// The non-blocking send happens under m.mu so it cannot race
+	// Shutdown's close(m.queue), which also requires m.mu to flip closing.
+	select {
+	case m.queue <- job:
+	default:
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.evictOldLocked()
+	return job, nil
+}
+
+// ErrMeshNotFound marks submissions referencing a mesh the cache does not
+// hold.
+var ErrMeshNotFound = errors.New("mesh not found")
+
+// evictOldLocked drops the oldest terminal job records over the retention
+// bound. Requires m.mu.
+func (m *Manager) evictOldLocked() {
+	for len(m.order) > m.maxJobs {
+		id := m.order[0]
+		j := m.jobs[id]
+		if j != nil {
+			j.mu.Lock()
+			terminal := j.state == StateDone || j.state == StateFailed
+			j.mu.Unlock()
+			if !terminal {
+				return // oldest record still active; retain everything
+			}
+			delete(m.jobs, id)
+		}
+		m.order = m.order[1:]
+	}
+}
+
+// Job returns the job with the given id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots all retained job statuses, oldest first.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel aborts a queued or running job. Queued jobs fail immediately
+// without running; running jobs are interrupted through their context.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("job %q not found", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone, StateFailed:
+		return fmt.Errorf("job %q already %s", id, j.state)
+	case StateQueued:
+		j.canceled = true
+		return nil
+	default: // running
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	}
+}
+
+// QueueDepth returns the number of jobs waiting in the FIFO.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// QueueCapacity returns the FIFO bound.
+func (m *Manager) QueueCapacity() int { return cap(m.queue) }
+
+// Workers returns the pool size.
+func (m *Manager) Workers() int { return m.workers }
+
+// Busy returns how many workers are currently executing a job.
+func (m *Manager) Busy() int { return int(m.busy.Load()) }
+
+// Totals returns cumulative per-scheme counters.
+func (m *Manager) Totals() map[string]metrics.TotalSnapshot { return m.totals.Snapshot() }
+
+// StateCounts tallies retained jobs by state.
+func (m *Manager) StateCounts() map[JobState]int {
+	counts := map[JobState]int{}
+	for _, st := range m.Jobs() {
+		counts[st.State]++
+	}
+	return counts
+}
+
+// Shutdown stops accepting new jobs and drains the queue: workers finish
+// every queued and running job, then exit. If ctx expires first, all
+// in-flight jobs are cancelled through their contexts and Shutdown waits
+// for the (now promptly aborting) workers before returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closing {
+		m.closing = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // abort in-flight evaluations
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs from the FIFO until the queue closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob resolves artifacts and executes one job under its context.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.canceled {
+		job.state = StateFailed
+		job.err = context.Canceled
+		job.finished = time.Now()
+		job.mu.Unlock()
+		close(job.done)
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	timeout := m.jobTimeout
+	if job.Spec.TimeoutMS > 0 {
+		timeout = time.Duration(job.Spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancelTimeout := context.WithTimeout(ctx, timeout)
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	m.busy.Add(1)
+	res, hits, err := m.execute(ctx, job.Spec)
+	m.busy.Add(-1)
+	cancelTimeout()
+	cancel()
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.cacheHits = hits
+	if err != nil {
+		job.state = StateFailed
+		job.err = err
+	} else {
+		job.state = StateDone
+		job.result = res
+		m.totals.Record(job.Spec.Scheme, &res.Total)
+	}
+	state, wall := job.state, job.finished.Sub(job.started)
+	job.mu.Unlock()
+	close(job.done)
+
+	if m.log != nil {
+		m.log.Info("job finished",
+			"job", job.ID, "state", string(state), "scheme", job.Spec.Scheme,
+			"wall", wall, "cache_hits", hits, "err", err)
+	}
+}
+
+// execute resolves the artifact chain (mesh → field → evaluator → tiling)
+// and runs the evaluation. It reports which expensive artifacts were served
+// warm from the cache.
+func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []string, error) {
+	mesh, ok := m.arts.Mesh(spec.MeshID)
+	if !ok {
+		return nil, nil, fmt.Errorf("mesh %q evicted before the job ran: %w", spec.MeshID, ErrMeshNotFound)
+	}
+	boundary, err := parseBoundary(spec.Boundary)
+	if err != nil {
+		return nil, nil, err
+	}
+	var hits []string
+	ev, hit, err := m.arts.Evaluator(mesh, spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hit {
+		hits = append(hits, "evaluator")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, hits, err
+	}
+	switch parseScheme(spec.Scheme) {
+	case core.PerPoint:
+		res, err := ev.RunPerPointCtx(ctx, spec.Blocks)
+		return res, hits, err
+	default:
+		evalKey := EvalKey(spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
+		tiling, hit, err := m.arts.Tiling(ev, evalKey, spec.Blocks)
+		if err != nil {
+			return nil, hits, err
+		}
+		if hit {
+			hits = append(hits, "tiling")
+		}
+		res, err := ev.RunPerElementCtx(ctx, tiling)
+		return res, hits, err
+	}
+}

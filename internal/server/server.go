@@ -1,0 +1,298 @@
+// Package server implements unstencild, a resident SIAC post-processing
+// service over the paper's evaluation schemes. It exists because every
+// batch entry point rebuilds meshes, dG fields, SIAC kernel tables and
+// spatial grids per invocation and exits; a long-running process that keeps
+// those artifacts warm across requests amortises exactly the setup the
+// paper's data-reuse argument targets, and gives later scaling work
+// (sharding, batching, multi-backend) a substrate to build on.
+//
+// The HTTP/JSON API (stdlib net/http only):
+//
+//	POST   /v1/meshes          upload + decode a mesh once; returns its
+//	                           content-hash id
+//	GET    /v1/meshes/{id}     stats of a resident mesh
+//	POST   /v1/jobs            submit a post-processing job (JobSpec)
+//	GET    /v1/jobs            list retained jobs
+//	GET    /v1/jobs/{id}       job status + exact counters
+//	GET    /v1/jobs/{id}/result  post-processed solution array
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /healthz            liveness
+//	GET    /debug/metrics      queue depth, workers busy, cache hit rate,
+//	                           cumulative per-scheme counters
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"unstencil/internal/mesh"
+)
+
+// Config sizes the service; zero fields take the documented defaults.
+type Config struct {
+	// Workers is the job worker pool size (default 2).
+	Workers int
+	// QueueSize bounds the FIFO job queue (default 64); submissions beyond
+	// it receive 503.
+	QueueSize int
+	// CacheBytes bounds the artifact cache (default 256 MiB).
+	CacheBytes int64
+	// MaxBodyBytes bounds request bodies, mesh uploads included
+	// (default 32 MiB).
+	MaxBodyBytes int64
+	// JobTimeout caps each job's evaluation time (default 5m).
+	JobTimeout time.Duration
+	// DefaultBlocks is the blocks/patches default for jobs that omit it
+	// (default 16).
+	DefaultBlocks int
+	// EvalWorkers bounds each evaluation's internal concurrency;
+	// 0 means GOMAXPROCS.
+	EvalWorkers int
+	// Log receives structured request and job logs; nil disables logging.
+	Log *slog.Logger
+}
+
+func (c *Config) defaults() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultBlocks <= 0 {
+		c.DefaultBlocks = 16
+	}
+}
+
+// Server is the unstencild HTTP handler plus its resident state.
+type Server struct {
+	cfg     Config
+	arts    *Artifacts
+	mgr     *Manager
+	log     *slog.Logger
+	start   time.Time
+	handler http.Handler
+}
+
+// New assembles the artifact cache, job manager and routes.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		arts:  NewArtifacts(NewCache(cfg.CacheBytes), cfg.EvalWorkers),
+		log:   cfg.Log,
+		start: time.Now(),
+	}
+	s.mgr = NewManager(s.arts, cfg.Log, ManagerConfig{
+		Workers:      cfg.Workers,
+		QueueSize:    cfg.QueueSize,
+		JobTimeout:   cfg.JobTimeout,
+		DefaultBlock: cfg.DefaultBlocks,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/meshes", s.handleMeshUpload)
+	mux.HandleFunc("GET /v1/meshes/{id}", s.handleMeshGet)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	s.handler = s.withLogging(mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.handler.ServeHTTP(w, r)
+}
+
+// Manager exposes the job manager (shutdown, tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.log == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"duration", time.Since(start), "remote", r.RemoteAddr)
+	})
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleMeshUpload(w http.ResponseWriter, r *http.Request) {
+	m, err := mesh.Decode(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"mesh exceeds the %d-byte upload limit", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := s.arts.PutMesh(m)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"mesh_id":   id,
+		"num_tris":  m.NumTris(),
+		"num_verts": m.NumVerts(),
+	})
+}
+
+func (s *Server) handleMeshGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := s.arts.Mesh(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "mesh %q not resident", id)
+		return
+	}
+	st := m.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mesh_id":      id,
+		"num_tris":     st.NumTris,
+		"num_verts":    st.NumVerts,
+		"longest_edge": st.MaxEdge,
+		"edge_cv":      st.CV,
+		"min_angle":    st.MinAngleDeg,
+		"total_area":   st.TotalArea,
+	})
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	job, err := s.mgr.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrMeshNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.Jobs()})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	res, ok := job.Result()
+	if !ok {
+		st := job.Status()
+		if st.State == StateFailed {
+			writeError(w, http.StatusConflict, "job %s failed: %s", job.ID, st.Error)
+			return
+		}
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", job.ID, st.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job_id":          job.ID,
+		"scheme":          res.Scheme.String(),
+		"num_points":      len(res.Solution),
+		"memory_overhead": res.MemoryOverhead,
+		"solution":        res.Solution,
+	})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		if _, ok := s.mgr.Job(id); !ok {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "cancelled": true})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cache := s.arts.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms":      float64(time.Since(s.start)) / float64(time.Millisecond),
+		"queue_depth":    s.mgr.QueueDepth(),
+		"queue_capacity": s.mgr.QueueCapacity(),
+		"workers":        s.mgr.Workers(),
+		"workers_busy":   s.mgr.Busy(),
+		"jobs":           s.mgr.StateCounts(),
+		"cache":          cache,
+		"cache_hit_rate": cache.HitRate(),
+		"schemes":        s.mgr.Totals(),
+	})
+}

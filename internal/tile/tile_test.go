@@ -238,3 +238,68 @@ func TestPopcount(t *testing.T) {
 		t.Error("popcount wrong")
 	}
 }
+
+// k == 1 is the degenerate tiling: one patch covers the whole mesh, every
+// grid point is stored exactly once, so the memory overhead must be exactly
+// 1.0 — not approximately.
+func TestSinglePatchOverheadExactlyOne(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 8, 0.2)
+	tl := New(m, pointElem, 1, mark)
+	if got := tl.Overhead(); got != 1.0 {
+		t.Fatalf("k=1 overhead = %v, want exactly 1.0", got)
+	}
+	if tl.PartialValues() != tl.NumPoints {
+		t.Fatalf("k=1 partials = %d, want %d", tl.PartialValues(), tl.NumPoints)
+	}
+	if len(tl.PatchElems[0]) != m.NumTris() {
+		t.Fatalf("k=1 patch holds %d of %d elements", len(tl.PatchElems[0]), m.NumTris())
+	}
+}
+
+// k greater than the element count: recursive bisection runs out of
+// elements, leaving some patches empty. The tiling must still cover every
+// element exactly once, tolerate empty patches in every code path
+// (buffers, slots, reduce, colouring), and reduce correctly.
+func TestMorePatchesThanElements(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 2, 0.3) // 8 triangles
+	k := m.NumTris() + 5
+	tl := New(m, pointElem, k, mark)
+	if tl.K != k {
+		t.Fatalf("K = %d, want %d", tl.K, k)
+	}
+	total := 0
+	nonEmpty := 0
+	for p := 0; p < k; p++ {
+		total += len(tl.PatchElems[p])
+		if len(tl.PatchElems[p]) > 0 {
+			nonEmpty++
+		}
+	}
+	if total != m.NumTris() {
+		t.Fatalf("patches cover %d of %d elements", total, m.NumTris())
+	}
+	if nonEmpty > m.NumTris() {
+		t.Fatalf("%d non-empty patches for %d elements", nonEmpty, m.NumTris())
+	}
+
+	// Empty patches contribute empty buffers; Reduce must still equal the
+	// single-patch reduction of the same per-point values.
+	bufs := tl.NewBuffers()
+	want := make([]float64, tl.NumPoints)
+	for p := 0; p < tl.K; p++ {
+		for _, pt := range tl.Slots[p] {
+			bufs[p][tl.Slot(p, pt)] = float64(pt + 1)
+			want[pt] += float64(pt + 1)
+		}
+	}
+	out := make([]float64, tl.NumPoints)
+	tl.Reduce(bufs, out)
+	for pt := range out {
+		if out[pt] != want[pt] {
+			t.Fatalf("Reduce[%d] = %v, want %v", pt, out[pt], want[pt])
+		}
+	}
+	if colors := tl.Colors(); len(colors) != k {
+		t.Fatalf("Colors length %d, want %d", len(colors), k)
+	}
+}
