@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"unstencil/internal/fault"
 	"unstencil/internal/server"
 )
 
@@ -46,20 +47,50 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
 		blocks       = flag.Int("blocks", 16, "default blocks/patches for jobs that omit it")
 		evalWorkers  = flag.Int("eval-workers", 0, "per-evaluation concurrency (0 = GOMAXPROCS)")
+		stateDir     = flag.String("state-dir", "", "directory for the job journal and mesh store; empty disables crash recovery")
+		retryN       = flag.Int("retry-attempts", 1, "tries per tile and per job for transient failures (1 = no retry)")
+		retryBase    = flag.Duration("retry-base", 10*time.Millisecond, "backoff before the first retry (doubles per retry)")
+		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "backoff cap")
+		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage (artifact build, evaluation) cap; 0 = job timeout")
+		faultSpec    = flag.String("fault-spec", "", "enable deterministic fault injection, e.g. seed=42,mode=mixed,sites=core.tile:0.01 (testing only)")
 	)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := server.New(server.Config{
+	if *faultSpec != "" {
+		cfg, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "unstencild: -fault-spec:", err)
+			os.Exit(2)
+		}
+		if err := fault.Enable(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "unstencild: -fault-spec:", err)
+			os.Exit(2)
+		}
+		log.Warn("fault injection enabled; this build is intentionally unreliable", "spec", *faultSpec)
+	}
+	srv, err := server.New(server.Config{
 		Workers:       *workers,
 		QueueSize:     *queue,
 		CacheBytes:    *cacheMB << 20,
 		MaxBodyBytes:  *maxBodyMB << 20,
 		JobTimeout:    *jobTimeout,
+		StageTimeout:  *stageTimeout,
 		DefaultBlocks: *blocks,
 		EvalWorkers:   *evalWorkers,
-		Log:           log,
+		StateDir:      *stateDir,
+		Retry: server.RetryPolicy{
+			Attempts: *retryN,
+			Base:     *retryBase,
+			Max:      *retryMax,
+		},
+		Log: log,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unstencild:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

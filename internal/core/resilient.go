@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"unstencil/internal/fault"
+	"unstencil/internal/metrics"
+	"unstencil/internal/tile"
+)
+
+// Fault-injection sites the evaluation pipeline exposes (see internal/fault
+// and DESIGN.md §8). Each site sits at the top of a retryable unit, so an
+// injected error or panic exercises exactly the recovery path a real
+// failure of that unit would take.
+const (
+	// SitePointBlock fires at the start of each per-point block attempt.
+	SitePointBlock = "core.point-block"
+	// SiteTile fires at the start of each per-element patch (tile) attempt.
+	SiteTile = "core.tile"
+	// SiteReduce fires before the per-element reduction stage.
+	SiteReduce = "core.reduce"
+)
+
+// PanicError wraps a panic recovered from an evaluation unit (a per-point
+// block, a per-element tile, or the reduction stage). The paper's tiling
+// gives each unit a disjoint write set, which is what makes recovery sound:
+// a panicked unit cannot have corrupted any other unit's output.
+type PanicError struct {
+	Scheme Scheme
+	Unit   int // block or patch id; -1 for the reduction stage
+	Value  any // the recovered panic value
+	Stack  []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: %s unit %d panicked: %v", e.Scheme, e.Unit, e.Value)
+}
+
+// Transient reports whether err is worth retrying. Context cancellation and
+// deadline expiry are permanent — the caller gave up or ran out of time;
+// everything else (including recovered panics and injected faults) is
+// assumed transient.
+func Transient(err error) bool {
+	return err != nil &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// Resilience configures fault handling for the resilient run variants. The
+// zero value (and a nil pointer) means: one attempt per unit, no partial
+// completion — panics still become errors instead of killing the process.
+type Resilience struct {
+	// MaxAttempts is the total number of tries per unit (>= 1). 1 disables
+	// retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per retry
+	// up to MaxDelay. 0 retries immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 100ms).
+	MaxDelay time.Duration
+	// Seed drives the deterministic backoff jitter, so tests with a fixed
+	// seed sleep reproducibly.
+	Seed int64
+	// AllowPartial lets a run complete when some units exhaust their
+	// retries: their output is zeroed and reported via Result.Coverage
+	// instead of failing the whole run.
+	AllowPartial bool
+	// Sleep overrides the backoff sleep (tests); nil uses a context-aware
+	// timer sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Faults receives recovery telemetry; nil disables counting.
+	Faults *metrics.FaultCounters
+}
+
+// Coverage reports partial completion of a degraded run: which units
+// (blocks or patches) exhausted their retries, and how many grid points
+// still carry a complete value. For the per-element scheme an uncovered
+// point holds the partial sum of its surviving patches' contributions; for
+// the per-point scheme failed blocks' points are exactly zero.
+type Coverage struct {
+	FailedUnits   []int `json:"failed_units"`
+	TotalUnits    int   `json:"total_units"`
+	CoveredPoints int   `json:"covered_points"`
+	TotalPoints   int   `json:"total_points"`
+}
+
+// Fraction returns CoveredPoints/TotalPoints (1 when the grid is empty).
+func (c *Coverage) Fraction() float64 {
+	if c.TotalPoints == 0 {
+		return 1
+	}
+	return float64(c.CoveredPoints) / float64(c.TotalPoints)
+}
+
+var defaultResilience = Resilience{MaxAttempts: 1}
+
+// withDefaults returns a defensive copy with defaults applied; nil yields
+// the no-retry policy.
+func (rs *Resilience) withDefaults() *Resilience {
+	if rs == nil {
+		return &defaultResilience
+	}
+	out := *rs
+	if out.MaxAttempts < 1 {
+		out.MaxAttempts = 1
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 100 * time.Millisecond
+	}
+	return &out
+}
+
+// safeCall runs fn, converting a panic into a *PanicError so a failing unit
+// is isolated from its siblings and from the process.
+func safeCall(scheme Scheme, unit int, fc *metrics.FaultCounters, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if fc != nil {
+				fc.PanicsRecovered.Add(1)
+			}
+			err = &PanicError{Scheme: scheme, Unit: unit, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// runUnit executes one unit under the policy: panic isolation on every
+// attempt, capped exponential backoff with deterministic jitter between
+// attempts, immediate return on permanent (context) errors.
+func (rs *Resilience) runUnit(ctx context.Context, scheme Scheme, unit int, fn func() error) error {
+	var err error
+	for a := 1; a <= rs.MaxAttempts; a++ {
+		if a > 1 {
+			if rs.Faults != nil {
+				rs.Faults.TileRetries.Add(1)
+			}
+			if serr := rs.sleep(ctx, rs.backoff(unit, a-1)); serr != nil {
+				return serr
+			}
+		}
+		err = safeCall(scheme, unit, rs.Faults, fn)
+		if err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// backoff returns the pre-retry delay: BaseDelay·2^(retry-1) capped at
+// MaxDelay, scaled by a deterministic jitter factor in [0.5, 1) drawn from
+// (Seed, unit, retry).
+func (rs *Resilience) backoff(unit, retry int) time.Duration {
+	if rs.BaseDelay <= 0 {
+		return 0
+	}
+	d := rs.BaseDelay << uint(min(retry-1, 16))
+	if d > rs.MaxDelay || d <= 0 {
+		d = rs.MaxDelay
+	}
+	h := fault.Mix64(uint64(rs.Seed) ^ uint64(unit)<<20 ^ uint64(retry))
+	f := 0.5 + 0.5*float64(h>>11)/(1<<53)
+	return time.Duration(float64(d) * f)
+}
+
+func (rs *Resilience) sleep(ctx context.Context, d time.Duration) error {
+	if rs.Sleep != nil {
+		return rs.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// failureSet collects the units that exhausted their retries.
+type failureSet struct {
+	mu     sync.Mutex
+	failed []int
+}
+
+func (fs *failureSet) add(unit int, fc *metrics.FaultCounters) {
+	if fc != nil {
+		fc.TilesFailed.Add(1)
+	}
+	fs.mu.Lock()
+	fs.failed = append(fs.failed, unit)
+	fs.mu.Unlock()
+}
+
+func (fs *failureSet) sorted() []int {
+	sort.Ints(fs.failed)
+	return fs.failed
+}
+
+// RunPerPointResilientCtx is RunPerPointCtx under a fault-handling policy:
+// each logical block runs panic-isolated, transient failures retry with
+// capped exponential backoff, and — when rs.AllowPartial — blocks that
+// exhaust their retries are zeroed and reported in Result.Coverage instead
+// of failing the run. Blocks write disjoint strided slices of the solution,
+// so a failed or retried block never corrupts its neighbours.
+func (ev *Evaluator) RunPerPointResilientCtx(ctx context.Context, nBlocks int, rs *Resilience) (*Result, error) {
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	rs = rs.withDefaults()
+	res := &Result{
+		Solution:       make([]float64, ev.NumPoints()),
+		Blocks:         make([]metrics.Counters, nBlocks),
+		MemoryOverhead: 1,
+		Scheme:         PerPoint,
+	}
+	start := time.Now()
+	var ec errCollector
+	var fs failureSet
+	var wg sync.WaitGroup
+	workers := min(ev.Opt.Workers, nBlocks)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := ev.newWorker()
+			for b := w; b < nBlocks; b += workers {
+				err := rs.runUnit(ctx, PerPoint, b, func() error {
+					wk.counters.Reset()
+					if err := fault.Inject(SitePointBlock); err != nil {
+						return err
+					}
+					for p := b; p < len(ev.Points); p += nBlocks {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						v, err := ev.evalPoint(int32(p), wk)
+						if err != nil {
+							return err
+						}
+						res.Solution[p] = v
+					}
+					return nil
+				})
+				if err == nil {
+					res.Blocks[b] = wk.counters
+					continue
+				}
+				if !Transient(err) || !rs.AllowPartial {
+					ec.set(err)
+					return
+				}
+				// Degrade: this block's strided points are zeroed (an
+				// aborted attempt may have written a partial prefix) and the
+				// block is reported as uncovered.
+				for p := b; p < len(ev.Points); p += nBlocks {
+					res.Solution[p] = 0
+				}
+				fs.add(b, rs.Faults)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ec.err != nil {
+		return nil, ec.err
+	}
+	res.Wall = time.Since(start)
+	for i := range res.Blocks {
+		res.Total.Add(&res.Blocks[i])
+	}
+	if failed := fs.sorted(); len(failed) > 0 {
+		covered := len(ev.Points)
+		for _, b := range failed {
+			covered -= strideCount(len(ev.Points), b, nBlocks)
+		}
+		res.Coverage = &Coverage{
+			FailedUnits:   failed,
+			TotalUnits:    nBlocks,
+			CoveredPoints: covered,
+			TotalPoints:   len(ev.Points),
+		}
+	}
+	return res, nil
+}
+
+// strideCount returns |{p : p = b + i·n, p < total}|.
+func strideCount(total, b, n int) int {
+	if b >= total {
+		return 0
+	}
+	return (total - b + n - 1) / n
+}
+
+// RunPerElementResilientCtx is RunPerElementCtx under a fault-handling
+// policy. The paper's overlapped tiling is the unit of fault containment:
+// every patch accumulates into its own scratch-pad buffer, so a failed
+// attempt resets only that buffer and a patch that exhausts its retries is
+// dropped (zero contribution) without touching any neighbour. With
+// rs.AllowPartial the run then completes carrying per-tile coverage
+// metadata; otherwise the first exhausted patch fails the run.
+func (ev *Evaluator) RunPerElementResilientCtx(ctx context.Context, t *tile.Tiling, rs *Resilience) (*Result, error) {
+	if t == nil {
+		t = ev.NewTiling(ev.Opt.Workers)
+	}
+	rs = rs.withDefaults()
+	res := &Result{
+		Solution:       make([]float64, ev.NumPoints()),
+		Blocks:         make([]metrics.Counters, t.K),
+		MemoryOverhead: t.Overhead(),
+		Scheme:         PerElement,
+	}
+	bufs := t.NewBuffers()
+	start := time.Now()
+	var ec errCollector
+	var fs failureSet
+	var wg sync.WaitGroup
+	workers := min(ev.Opt.Workers, t.K)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := ev.newWorker()
+			for p := w; p < t.K; p += workers {
+				buf := bufs[p]
+				err := rs.runUnit(ctx, PerElement, p, func() error {
+					// A fresh attempt starts from a clean scratch-pad; the
+					// disjoint write set makes this reset local to the tile.
+					clear(buf)
+					wk.counters.Reset()
+					if err := fault.Inject(SiteTile); err != nil {
+						return err
+					}
+					for _, e := range t.PatchElems[p] {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						var slotErr error
+						err := ev.processElement(e, wk, func(pt int32, v float64) {
+							sl := t.Slot(p, pt)
+							if sl < 0 {
+								slotErr = fmt.Errorf("core: patch %d received partial for unmarked point %d", p, pt)
+								return
+							}
+							buf[sl] += v
+						})
+						if err == nil {
+							err = slotErr
+						}
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err == nil {
+					res.Blocks[p] = wk.counters
+					continue
+				}
+				if !Transient(err) || !rs.AllowPartial {
+					ec.set(err)
+					return
+				}
+				clear(buf) // drop the tile: zero contribution, never garbage
+				fs.add(p, rs.Faults)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ec.err != nil {
+		return nil, ec.err
+	}
+	// Reduction stage, panic-isolated and retryable: the scratch-pads are
+	// read-only inputs here and the output is overwritten from scratch, so
+	// a second attempt after a recovered panic is sound.
+	if err := rs.runUnit(ctx, PerElement, -1, func() error {
+		if err := fault.Inject(SiteReduce); err != nil {
+			return err
+		}
+		t.Reduce(bufs, res.Solution)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	for i := range res.Blocks {
+		res.Total.Add(&res.Blocks[i])
+	}
+	if failed := fs.sorted(); len(failed) > 0 {
+		res.Coverage = &Coverage{
+			FailedUnits:   failed,
+			TotalUnits:    t.K,
+			CoveredPoints: t.NumPoints - t.UncoveredPoints(failed),
+			TotalPoints:   t.NumPoints,
+		}
+	}
+	return res, nil
+}

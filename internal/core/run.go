@@ -31,6 +31,10 @@ type Result struct {
 	MemoryOverhead float64
 	// Scheme records which scheme produced the result.
 	Scheme Scheme
+	// Coverage is non-nil only for degraded runs (resilient variants with
+	// AllowPartial) where some blocks or tiles exhausted their retries; it
+	// records which units failed and how many points remain fully covered.
+	Coverage *Coverage
 }
 
 // errCollector records the first error seen across workers.
@@ -62,53 +66,11 @@ func (ev *Evaluator) RunPerPoint(nBlocks int) (*Result, error) {
 // RunPerPointCtx is RunPerPoint with cancellation: when ctx is cancelled or
 // its deadline passes, in-flight workers stop at the next grid point and the
 // run returns ctx's error. Long-running evaluations submitted to a resident
-// service abort promptly rather than running to completion.
+// service abort promptly rather than running to completion. Block panics
+// are isolated and surface as *PanicError; retry and graceful degradation
+// are available through RunPerPointResilientCtx.
 func (ev *Evaluator) RunPerPointCtx(ctx context.Context, nBlocks int) (*Result, error) {
-	if nBlocks < 1 {
-		nBlocks = 1
-	}
-	res := &Result{
-		Solution:       make([]float64, ev.NumPoints()),
-		Blocks:         make([]metrics.Counters, nBlocks),
-		MemoryOverhead: 1,
-		Scheme:         PerPoint,
-	}
-	start := time.Now()
-	var ec errCollector
-	var wg sync.WaitGroup
-	workers := min(ev.Opt.Workers, nBlocks)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wk := ev.newWorker()
-			for b := w; b < nBlocks; b += workers {
-				for p := b; p < len(ev.Points); p += nBlocks {
-					if err := ctx.Err(); err != nil {
-						ec.set(err)
-						return
-					}
-					v, err := ev.evalPoint(int32(p), wk)
-					if err != nil {
-						ec.set(err)
-						return
-					}
-					res.Solution[p] = v
-				}
-				res.Blocks[b].Add(&wk.counters)
-				wk.counters.Reset()
-			}
-		}(w)
-	}
-	wg.Wait()
-	if ec.err != nil {
-		return nil, ec.err
-	}
-	res.Wall = time.Since(start)
-	for i := range res.Blocks {
-		res.Total.Add(&res.Blocks[i])
-	}
-	return res, nil
+	return ev.RunPerPointResilientCtx(ctx, nBlocks, nil)
 }
 
 // evalPoint computes the post-processed solution at grid point pi,
@@ -232,62 +194,11 @@ func (ev *Evaluator) RunPerElement(t *tile.Tiling) (*Result, error) {
 }
 
 // RunPerElementCtx is RunPerElement with cancellation: workers observe ctx
-// between elements and the run returns ctx's error once cancelled.
+// between elements and the run returns ctx's error once cancelled. Tile
+// panics are isolated and surface as *PanicError; retry and graceful
+// degradation are available through RunPerElementResilientCtx.
 func (ev *Evaluator) RunPerElementCtx(ctx context.Context, t *tile.Tiling) (*Result, error) {
-	if t == nil {
-		t = ev.NewTiling(ev.Opt.Workers)
-	}
-	res := &Result{
-		Solution:       make([]float64, ev.NumPoints()),
-		Blocks:         make([]metrics.Counters, t.K),
-		MemoryOverhead: t.Overhead(),
-		Scheme:         PerElement,
-	}
-	bufs := t.NewBuffers()
-	start := time.Now()
-	var ec errCollector
-	var wg sync.WaitGroup
-	workers := min(ev.Opt.Workers, t.K)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wk := ev.newWorker()
-			for p := w; p < t.K; p += workers {
-				buf := bufs[p]
-				for _, e := range t.PatchElems[p] {
-					if err := ctx.Err(); err != nil {
-						ec.set(err)
-						return
-					}
-					err := ev.processElement(e, wk, func(pt int32, v float64) {
-						sl := t.Slot(p, pt)
-						if sl < 0 {
-							ec.set(fmt.Errorf("core: patch %d received partial for unmarked point %d", p, pt))
-							return
-						}
-						buf[sl] += v
-					})
-					if err != nil {
-						ec.set(err)
-						return
-					}
-				}
-				res.Blocks[p].Add(&wk.counters)
-				wk.counters.Reset()
-			}
-		}(w)
-	}
-	wg.Wait()
-	if ec.err != nil {
-		return nil, ec.err
-	}
-	t.Reduce(bufs, res.Solution)
-	res.Wall = time.Since(start)
-	for i := range res.Blocks {
-		res.Total.Add(&res.Blocks[i])
-	}
-	return res, nil
+	return ev.RunPerElementResilientCtx(ctx, t, nil)
 }
 
 // processElement computes every partial solution contributed by element e
@@ -492,20 +403,29 @@ func (ev *Evaluator) RunPerElementPipelinedCtx(ctx context.Context, t *tile.Tili
 				wk := ev.newWorker()
 				for i := w; i < len(wave); i += workers {
 					p := wave[i]
-					for _, e := range t.PatchElems[p] {
-						if err := ctx.Err(); err != nil {
-							ec.set(err)
-							return
+					// Panic-isolated: a dying patch fails the run with a
+					// typed error instead of killing the process. No retry
+					// here — pipelined patches write the shared solution in
+					// place, so an aborted attempt cannot be replayed.
+					err := safeCall(PerElement, p, nil, func() error {
+						for _, e := range t.PatchElems[p] {
+							if err := ctx.Err(); err != nil {
+								return err
+							}
+							err := ev.processElement(e, wk, func(pt int32, v float64) {
+								// In-place accumulation: safe because same-colour
+								// patches have disjoint influence regions.
+								res.Solution[pt] += v
+							})
+							if err != nil {
+								return err
+							}
 						}
-						err := ev.processElement(e, wk, func(pt int32, v float64) {
-							// In-place accumulation: safe because same-colour
-							// patches have disjoint influence regions.
-							res.Solution[pt] += v
-						})
-						if err != nil {
-							ec.set(err)
-							return
-						}
+						return nil
+					})
+					if err != nil {
+						ec.set(err)
+						return
 					}
 					res.Blocks[p].Add(&wk.counters)
 					wk.counters.Reset()

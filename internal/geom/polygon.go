@@ -106,9 +106,14 @@ func (e clipEdge) intersect(s, p Point) Point {
 
 // ClipConvex intersects the subject polygon with the convex CCW clip
 // polygon and returns the resulting convex polygon (empty when they do not
-// overlap). The returned slice aliases the Clipper's internal buffer and is
-// only valid until the next call.
+// overlap). Degenerate clip regions — fewer than 3 vertices, zero or NaN
+// area — yield an empty result rather than propagating NaN through the
+// half-plane tests. The returned slice aliases the Clipper's internal
+// buffer and is only valid until the next call.
 func (c *Clipper) ClipConvex(subject, clip Polygon) Polygon {
+	if len(clip) < 3 || !(clip.Area() > 0) {
+		return c.out[:0]
+	}
 	c.out = append(c.out[:0], subject...)
 	n := len(clip)
 	for i := 0; i < n && len(c.out) > 0; i++ {
@@ -136,8 +141,14 @@ func (c *Clipper) ClipConvex(subject, clip Polygon) Polygon {
 // ClipTriangleBox intersects triangle t with axis-aligned box b. This is the
 // hot path of the post-processor (stencil square × mesh element), so the box
 // clip is specialised: each of the four half-plane tests is a single
-// coordinate comparison. The returned polygon aliases internal buffers.
+// coordinate comparison. Degenerate inputs — a zero-area (collinear or
+// NaN-cornered) triangle, or an empty/inverted/NaN box — return an empty
+// polygon: a region that cannot contain area must never surface as NaN
+// downstream. The returned polygon aliases internal buffers.
 func (c *Clipper) ClipTriangleBox(t Triangle, b AABB) Polygon {
+	if !(t.Area() > 0) || !(b.Min.X < b.Max.X) || !(b.Min.Y < b.Max.Y) {
+		return c.out[:0]
+	}
 	t = t.CCW()
 	c.out = append(c.out[:0], t.A, t.B, t.C)
 
@@ -181,7 +192,13 @@ func (c *Clipper) ClipTriangleBox(t Triangle, b AABB) Polygon {
 // from vertex 0, appending them to dst and returning the extended slice.
 // Triangles with area below minArea (slivers produced by clipping exactly on
 // a boundary) are dropped; pass 0 to keep everything with positive area.
+// Collinear fans and NaN-cornered triangles fail the positive-area test and
+// are dropped, so degenerate clips contribute an empty region rather than
+// NaN integrals.
 func SplitFan(p Polygon, dst []Triangle, minArea float64) []Triangle {
+	if !(minArea >= 0) {
+		minArea = 0 // a NaN/negative filter must not admit slivers
+	}
 	for i := 1; i+1 < len(p); i++ {
 		t := Triangle{p[0], p[i], p[i+1]}
 		if t.Area() > minArea {

@@ -71,3 +71,19 @@ func TestCountersJSONTags(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultCountersSnapshot(t *testing.T) {
+	var f FaultCounters
+	f.PanicsRecovered.Add(2)
+	f.TileRetries.Add(3)
+	f.JobRetries.Add(1)
+	f.TilesFailed.Add(4)
+	f.DegradedJobs.Add(5)
+	f.JobsReplayed.Add(6)
+	got := f.Snapshot()
+	want := FaultSnapshot{PanicsRecovered: 2, TileRetries: 3, JobRetries: 1,
+		TilesFailed: 4, DegradedJobs: 5, JobsReplayed: 6}
+	if got != want {
+		t.Fatalf("snapshot %+v, want %+v", got, want)
+	}
+}

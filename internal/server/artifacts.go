@@ -33,12 +33,18 @@ type Artifacts struct {
 	// not participate in cache keys: worker count affects execution
 	// concurrency, never results.
 	evalWorkers int
+	// store, when non-nil, persists uploaded meshes and backfills cache
+	// misses so journal-replayed jobs survive a cold cache after a restart.
+	store *MeshStore
 }
 
 // NewArtifacts wraps cache; evalWorkers <= 0 means GOMAXPROCS.
 func NewArtifacts(cache *Cache, evalWorkers int) *Artifacts {
 	return &Artifacts{cache: cache, evalWorkers: evalWorkers}
 }
+
+// SetStore attaches the durable mesh store. Call before serving requests.
+func (a *Artifacts) SetStore(st *MeshStore) { a.store = st }
 
 // FieldFuncs are the analytic input fields a job may request; the service
 // projects them onto the mesh's broken polynomial space once per
@@ -67,22 +73,38 @@ func FieldNames() []string {
 	return names
 }
 
-// PutMesh stores a decoded mesh and returns its content-hash id.
-func (a *Artifacts) PutMesh(m *mesh.Mesh) string {
+// PutMesh stores a decoded mesh and returns its content-hash id. With a
+// durable store attached the mesh is also written through to disk; a store
+// error is returned alongside the id (the mesh is still resident in memory,
+// so the caller can choose to serve degraded rather than reject).
+func (a *Artifacts) PutMesh(m *mesh.Mesh) (string, error) {
 	id := m.ContentHash()
 	a.cache.Put("mesh:"+id, m, meshBytes(m))
-	return id
+	if a.store != nil {
+		if _, err := a.store.Save(m); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
 }
 
-// Mesh returns the resident mesh with the given content hash, if any. A
-// false return means the mesh was never uploaded or has been evicted and
-// must be re-uploaded.
+// Mesh returns the resident mesh with the given content hash, if any. Cache
+// misses fall back to the durable store (re-admitting the mesh to the
+// cache), so an eviction or a restart does not orphan journaled jobs. A
+// false return means the mesh is neither resident nor on disk and must be
+// re-uploaded.
 func (a *Artifacts) Mesh(id string) (*mesh.Mesh, bool) {
 	v, ok := a.cache.Get("mesh:" + id)
-	if !ok {
-		return nil, false
+	if ok {
+		return v.(*mesh.Mesh), true
 	}
-	return v.(*mesh.Mesh), true
+	if a.store != nil {
+		if m, err := a.store.Load(id); err == nil {
+			a.cache.Put("mesh:"+id, m, meshBytes(m))
+			return m, true
+		}
+	}
+	return nil, false
 }
 
 // Field returns the projected dG field for (mesh, p, fieldKind), building

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheBasics(t *testing.T) {
@@ -144,5 +145,67 @@ func TestCacheConcurrentChurn(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Bytes > 64 && st.Entries > 1 {
 		t.Errorf("cache over budget after churn: %+v", st)
+	}
+}
+
+// TestGetOrBuildErrorConcurrentWaiters: when a build fails while other
+// goroutines wait on the same key, every waiter receives the build error,
+// nothing is cached, and the next call re-runs the builder (which may then
+// succeed). Run under -race.
+func TestGetOrBuildErrorConcurrentWaiters(t *testing.T) {
+	c := NewCache(100)
+	boom := errors.New("boom")
+	const waiters = 16
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	build := func() (any, int64, error) {
+		calls.Add(1)
+		close(entered)
+		<-release
+		return nil, 0, boom
+	}
+
+	errs := make(chan error, waiters)
+	go func() {
+		_, _, err := c.GetOrBuild("k", build)
+		errs <- err
+	}()
+	<-entered // the leader is inside the builder; everyone else must wait
+
+	var wg sync.WaitGroup
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.GetOrBuild("k", func() (any, int64, error) {
+				t.Error("waiter ran the builder during an in-flight build")
+				return nil, 0, nil
+			})
+			errs <- err
+		}()
+	}
+	// Give the waiters a moment to park on the in-flight call, then fail it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: err = %v, want boom", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("builder ran %d times during the failed round, want 1", got)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed build left a cached value")
+	}
+
+	// The failure must not poison the key: a later call rebuilds.
+	v, hit, err := c.GetOrBuild("k", func() (any, int64, error) { return 7, 8, nil })
+	if err != nil || hit || v.(int) != 7 {
+		t.Fatalf("rebuild after failure: v=%v hit=%v err=%v", v, hit, err)
 	}
 }

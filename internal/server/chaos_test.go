@@ -1,0 +1,177 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/fault"
+	"unstencil/internal/mesh"
+)
+
+// TestChaosJobsSurviveFaults is the acceptance chaos run: 100 jobs across
+// both schemes while deterministic panic and error faults fire inside the
+// tile and point-block workers. With a retry budget the process must never
+// crash, every job must complete non-degraded, and every solution must match
+// the fault-free reference to 1e-12 — the disjoint-write-set containment
+// argument, tested end to end. Runs under -race in CI's chaos job.
+func TestChaosJobsSurviveFaults(t *testing.T) {
+	const (
+		jobs   = 100
+		blocks = 6
+		seed   = 20130707 // fixed: the whole fault sequence is reproducible
+	)
+	m := mesh.Structured(4)
+
+	// Fault-free references, computed directly against core.
+	f := dg.Project(m, 1, FieldFuncs["sincos"], 4)
+	ev, err := core.NewEvaluator(f, core.Options{P: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]float64{}
+	for _, scheme := range []core.Scheme{core.PerPoint, core.PerElement} {
+		res, err := ev.Run(scheme, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[scheme.String()] = res.Solution
+	}
+
+	srv, ts := newTestServer(t, Config{
+		Workers:     4,
+		QueueSize:   2 * jobs,
+		EvalWorkers: 2,
+		Retry: RetryPolicy{
+			Attempts: 30,
+			Base:     time.Microsecond,
+			Max:      50 * time.Microsecond,
+		},
+	})
+	meshID := uploadMesh(t, ts, m)
+
+	// Warm the artifact chain before turning on faults so the chaos run
+	// exercises the evaluation pipeline, not the builders.
+	st, code := submitJob(t, ts, JobSpec{MeshID: meshID, Scheme: "per-element", P: 1, Blocks: blocks})
+	if code != http.StatusAccepted {
+		t.Fatalf("warmup status %d", code)
+	}
+	if st = waitJob(t, ts, st.ID, 60*time.Second); st.State != StateDone {
+		t.Fatalf("warmup failed: %s", st.Error)
+	}
+
+	enableFaults(t, fault.Config{
+		Seed: seed,
+		Mode: fault.ModeMixed, // both panics and errors, chosen per decision
+		Sites: map[string]float64{
+			core.SitePointBlock: 0.05,
+			core.SiteTile:       0.05,
+			core.SiteReduce:     0.02,
+		},
+	})
+
+	ids := make([]string, 0, jobs)
+	schemes := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		scheme := "per-point"
+		if i%2 == 1 {
+			scheme = "per-element"
+		}
+		st, code := submitJob(t, ts, JobSpec{MeshID: meshID, Scheme: scheme, P: 1, Blocks: blocks})
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, code)
+		}
+		ids = append(ids, st.ID)
+		schemes = append(schemes, scheme)
+	}
+
+	for i, id := range ids {
+		st := waitJob(t, ts, id, 120*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("job %s (%s) under chaos: state %s err %q", id, schemes[i], st.State, st.Error)
+		}
+		if st.Degraded || st.Coverage != nil {
+			t.Fatalf("job %s completed degraded without opting in: %+v", id, st.Coverage)
+		}
+		var res struct {
+			Solution []float64 `json:"solution"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+			t.Fatalf("job %s result code %d", id, code)
+		}
+		ref := want[schemes[i]]
+		if len(res.Solution) != len(ref) {
+			t.Fatalf("job %s: %d points, want %d", id, len(res.Solution), len(ref))
+		}
+		for p := range ref {
+			if math.Abs(res.Solution[p]-ref[p]) > 1e-12 {
+				t.Fatalf("job %s: solution[%d] = %v, fault-free %v", id, p, res.Solution[p], ref[p])
+			}
+		}
+	}
+
+	// The run must actually have exercised the recovery machinery.
+	snap := srv.Faults().Snapshot()
+	if snap.PanicsRecovered == 0 {
+		t.Error("chaos run recovered no panics; injection did not bite")
+	}
+	if snap.TileRetries == 0 {
+		t.Error("chaos run performed no retries; injection did not bite")
+	}
+	if inj := fault.Stats(); len(inj) == 0 {
+		t.Error("fault stats empty under enabled injection")
+	}
+}
+
+// TestChaosDegradedJob: with retry disabled and AllowPartial set, injected
+// tile failures must produce a completed-but-degraded job whose coverage
+// metadata is visible through the API.
+func TestChaosDegradedJob(t *testing.T) {
+	m := mesh.Structured(12)
+	srv, ts := newTestServer(t, Config{Workers: 1, EvalWorkers: 1})
+	meshID := uploadMesh(t, ts, m)
+
+	// Warm artifacts fault-free.
+	st, code := submitJob(t, ts, JobSpec{MeshID: meshID, Scheme: "per-element", P: 1, Blocks: 8})
+	if code != http.StatusAccepted {
+		t.Fatalf("warmup status %d", code)
+	}
+	if st = waitJob(t, ts, st.ID, 60*time.Second); st.State != StateDone {
+		t.Fatalf("warmup failed: %s", st.Error)
+	}
+
+	enableFaults(t, fault.Config{
+		Seed:      7,
+		Mode:      fault.ModeError,
+		Sites:     map[string]float64{core.SiteTile: 1},
+		MaxFaults: 2, // exactly two tiles fail, then the injector goes quiet
+	})
+	st, code = submitJob(t, ts, JobSpec{
+		MeshID: meshID, Scheme: "per-element", P: 1, Blocks: 8, AllowPartial: true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("degraded submit status %d", code)
+	}
+	st = waitJob(t, ts, st.ID, 60*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("degraded job: state %s err %q", st.State, st.Error)
+	}
+	if !st.Degraded || st.Coverage == nil {
+		t.Fatalf("job completed without coverage metadata: %+v", st)
+	}
+	if n := len(st.Coverage.FailedUnits); n != 2 {
+		t.Errorf("failed units = %d, want 2", n)
+	}
+	if st.Coverage.TotalUnits != 8 {
+		t.Errorf("total units = %d, want 8", st.Coverage.TotalUnits)
+	}
+	if fr := st.Coverage.Fraction(); fr < 0 || fr >= 1 {
+		t.Errorf("coverage fraction %v outside [0, 1)", fr)
+	}
+	if srv.Faults().Snapshot().DegradedJobs == 0 {
+		t.Error("degraded completion not counted")
+	}
+}

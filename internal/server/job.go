@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"unstencil/internal/core"
+	"unstencil/internal/fault"
 	"unstencil/internal/metrics"
+	"unstencil/internal/tile"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -43,7 +46,20 @@ type JobSpec struct {
 	Field string `json:"field,omitempty"`
 	// TimeoutMS caps this job's run time; 0 means the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// AllowPartial opts this job into graceful degradation: if some tiles or
+	// blocks exhaust their retries, the job completes with their output
+	// zeroed and per-tile coverage metadata instead of failing.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
+
+// Submission caps. Requests beyond them are rejected with 400 at submission
+// time rather than allowed to exhaust memory mid-run.
+const (
+	// MaxBlocks bounds the blocks/patches a single job may request.
+	MaxBlocks = 1 << 16
+	// MaxGridDegree bounds the evaluation-grid quadrature degree.
+	MaxGridDegree = 32
+)
 
 // normalize validates and defaults the spec.
 func (s *JobSpec) normalize(defaultBlocks int) error {
@@ -63,6 +79,12 @@ func (s *JobSpec) normalize(defaultBlocks int) error {
 	}
 	if s.Blocks < 1 {
 		return fmt.Errorf("blocks must be >= 1, got %d", s.Blocks)
+	}
+	if s.Blocks > MaxBlocks {
+		return fmt.Errorf("blocks must be <= %d, got %d", MaxBlocks, s.Blocks)
+	}
+	if s.GridDegree > MaxGridDegree {
+		return fmt.Errorf("grid_degree must be <= %d, got %d", MaxGridDegree, s.GridDegree)
 	}
 	if s.Boundary == "" {
 		s.Boundary = "periodic"
@@ -100,6 +122,35 @@ func parseScheme(s string) core.Scheme {
 	return core.PerElement
 }
 
+// Job pipeline stages, used to attribute failures and enforce per-stage
+// deadlines.
+const (
+	StageArtifacts = "artifacts" // mesh → field → evaluator → tiling builds
+	StageEvaluate  = "evaluate"  // the core evaluation run
+)
+
+// JobError attributes a job failure to a pipeline stage and records how many
+// whole-job attempts were spent and whether the final failure was a
+// recovered panic.
+type JobError struct {
+	Stage    string
+	Attempts int
+	Panicked bool
+	Err      error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	kind := "failed"
+	if e.Panicked {
+		kind = "panicked"
+	}
+	return fmt.Sprintf("job %s in stage %q after %d attempt(s): %v", kind, e.Stage, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
 // Job is one unit of work owned by the Manager.
 type Job struct {
 	ID   string
@@ -129,6 +180,8 @@ type JobStatus struct {
 	WallMS     float64           `json:"wall_ms,omitempty"`
 	MemOverhd  float64           `json:"memory_overhead,omitempty"`
 	Counters   *metrics.Counters `json:"counters,omitempty"`
+	Degraded   bool              `json:"degraded,omitempty"`
+	Coverage   *core.Coverage    `json:"coverage,omitempty"`
 	CreatedAt  time.Time         `json:"created_at"`
 	StartedAt  *time.Time        `json:"started_at,omitempty"`
 	FinishedAt *time.Time        `json:"finished_at,omitempty"`
@@ -162,6 +215,10 @@ func (j *Job) Status() JobStatus {
 		st.MemOverhd = j.result.MemoryOverhead
 		c := j.result.Total
 		st.Counters = &c
+		if j.result.Coverage != nil {
+			st.Degraded = true
+			st.Coverage = j.result.Coverage
+		}
 	}
 	return st
 }
@@ -190,13 +247,17 @@ var (
 // Artifacts cache and run core evaluations under a cancellable,
 // deadline-capped context.
 type Manager struct {
-	arts       *Artifacts
-	log        *slog.Logger
-	queue      chan *Job
-	workers    int
-	jobTimeout time.Duration
-	defBlocks  int
-	maxJobs    int
+	arts         *Artifacts
+	log          *slog.Logger
+	queue        chan *Job
+	workers      int
+	jobTimeout   time.Duration
+	stageTimeout time.Duration
+	defBlocks    int
+	maxJobs      int
+	retry        RetryPolicy
+	journal      *Journal
+	faults       *metrics.FaultCounters
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -212,13 +273,42 @@ type Manager struct {
 	closing bool
 }
 
+// RetryPolicy shapes both the per-unit (tile/block) retry inside an
+// evaluation and the whole-job retry in the worker: Attempts tries total per
+// unit and per job, with capped exponential backoff between tries.
+type RetryPolicy struct {
+	Attempts int           // total tries (default 1 = no retry)
+	Base     time.Duration // backoff before the first retry (default 10ms when retrying)
+	Max      time.Duration // backoff cap (default 500ms)
+}
+
+func (p *RetryPolicy) defaults() {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 500 * time.Millisecond
+	}
+}
+
 // ManagerConfig configures NewManager; zero fields take defaults.
 type ManagerConfig struct {
 	Workers      int           // worker goroutines (default 2)
 	QueueSize    int           // bounded FIFO capacity (default 64)
 	JobTimeout   time.Duration // per-job cap (default 5m)
+	StageTimeout time.Duration // per-stage cap (default: the job timeout)
 	DefaultBlock int           // default blocks/patches (default 16)
 	MaxJobs      int           // retained job records (default 4096)
+	Retry        RetryPolicy   // unit- and job-level retry (default: none)
+
+	// Journal, when non-nil, records accepted and finished jobs for crash
+	// recovery; incomplete jobs are re-enqueued via Replay on startup.
+	Journal *Journal
+	// Faults receives recovery telemetry; nil allocates a private instance.
+	Faults *metrics.FaultCounters
 }
 
 // NewManager starts the worker pool.
@@ -238,19 +328,30 @@ func NewManager(arts *Artifacts, log *slog.Logger, cfg ManagerConfig) *Manager {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4096
 	}
+	if cfg.StageTimeout <= 0 {
+		cfg.StageTimeout = cfg.JobTimeout
+	}
+	cfg.Retry.defaults()
+	if cfg.Faults == nil {
+		cfg.Faults = &metrics.FaultCounters{}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		arts:       arts,
-		log:        log,
-		queue:      make(chan *Job, cfg.QueueSize),
-		workers:    cfg.Workers,
-		jobTimeout: cfg.JobTimeout,
-		defBlocks:  cfg.DefaultBlock,
-		maxJobs:    cfg.MaxJobs,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		totals:     metrics.NewTotals(),
-		jobs:       make(map[string]*Job),
+		arts:         arts,
+		log:          log,
+		queue:        make(chan *Job, cfg.QueueSize),
+		workers:      cfg.Workers,
+		jobTimeout:   cfg.JobTimeout,
+		stageTimeout: cfg.StageTimeout,
+		defBlocks:    cfg.DefaultBlock,
+		maxJobs:      cfg.MaxJobs,
+		retry:        cfg.Retry,
+		journal:      cfg.Journal,
+		faults:       cfg.Faults,
+		baseCtx:      ctx,
+		baseCancel:   cancel,
+		totals:       metrics.NewTotals(),
+		jobs:         make(map[string]*Job),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -294,7 +395,96 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.evictOldLocked()
+	m.journalAccept(job)
 	return job, nil
+}
+
+// journalAccept records the job in the WAL. Journal failures are logged,
+// never fatal: the service degrades to in-memory durability rather than
+// refusing work.
+func (m *Manager) journalAccept(job *Job) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Accept(job.ID, job.Spec); err != nil && m.log != nil {
+		m.log.Warn("job journal accept failed; job will not survive a crash",
+			"job", job.ID, "err", err)
+	}
+}
+
+// journalFinish marks the job terminal in the WAL.
+func (m *Manager) journalFinish(id string, state JobState) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Finish(id, state); err != nil && m.log != nil {
+		m.log.Warn("job journal finish failed; job may be re-run after a crash",
+			"job", id, "err", err)
+	}
+}
+
+// Replay re-enqueues jobs recovered from the journal, preserving their
+// original IDs and advancing the ID counter past them so new submissions
+// never collide. Specs are re-validated: a job whose spec no longer passes
+// (or whose mesh is gone from both cache and disk) fails immediately with a
+// journaled finish, so it is not replayed forever.
+func (m *Manager) Replay(pending []PendingJob) {
+	for _, p := range pending {
+		m.replayOne(p)
+	}
+}
+
+func (m *Manager) replayOne(p PendingJob) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closing {
+		return
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(p.ID, "job-%d", &n); err == nil && n > m.nextID {
+		m.nextID = n
+	}
+	if _, exists := m.jobs[p.ID]; exists {
+		return
+	}
+	err := p.Spec.normalize(m.defBlocks)
+	job := &Job{
+		ID:      p.ID,
+		Spec:    p.Spec,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if err == nil {
+		if _, ok := m.arts.Mesh(p.Spec.MeshID); !ok {
+			err = fmt.Errorf("mesh %q not recoverable after restart: %w", p.Spec.MeshID, ErrMeshNotFound)
+		}
+	}
+	if err == nil {
+		select {
+		case m.queue <- job:
+		default:
+			err = ErrQueueFull
+		}
+	}
+	if err != nil {
+		job.state = StateFailed
+		job.err = err
+		job.finished = time.Now()
+		close(job.done)
+		m.journalFinish(job.ID, StateFailed)
+		if m.log != nil {
+			m.log.Warn("journal replay dropped job", "job", job.ID, "err", err)
+		}
+	} else {
+		m.faults.JobsReplayed.Add(1)
+		if m.log != nil {
+			m.log.Info("journal replay re-enqueued job", "job", job.ID, "scheme", job.Spec.Scheme)
+		}
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.evictOldLocked()
 }
 
 // ErrMeshNotFound marks submissions referencing a mesh the cache does not
@@ -452,7 +642,7 @@ func (m *Manager) runJob(job *Job) {
 	job.mu.Unlock()
 
 	m.busy.Add(1)
-	res, hits, err := m.execute(ctx, job.Spec)
+	res, hits, err := m.executeWithRetry(ctx, job.Spec)
 	m.busy.Add(-1)
 	cancelTimeout()
 	cancel()
@@ -467,10 +657,14 @@ func (m *Manager) runJob(job *Job) {
 		job.state = StateDone
 		job.result = res
 		m.totals.Record(job.Spec.Scheme, &res.Total)
+		if res.Coverage != nil {
+			m.faults.DegradedJobs.Add(1)
+		}
 	}
 	state, wall := job.state, job.finished.Sub(job.started)
 	job.mu.Unlock()
 	close(job.done)
+	m.journalFinish(job.ID, state)
 
 	if m.log != nil {
 		m.log.Info("job finished",
@@ -479,43 +673,172 @@ func (m *Manager) runJob(job *Job) {
 	}
 }
 
+// executeWithRetry runs the job pipeline under the manager's retry policy:
+// each attempt is panic-isolated, transient failures (including recovered
+// panics) retry with capped exponential backoff, and permanent failures
+// (cancellation, deadline, validation) return immediately. The final error
+// is a *JobError attributing the failure to its pipeline stage.
+func (m *Manager) executeWithRetry(ctx context.Context, spec JobSpec) (*core.Result, []string, error) {
+	var (
+		res      *core.Result
+		hits     []string
+		err      error
+		panicked bool
+	)
+	for attempt := 1; attempt <= m.retry.Attempts; attempt++ {
+		if attempt > 1 {
+			m.faults.JobRetries.Add(1)
+			if serr := sleepCtx(ctx, jobBackoff(m.retry, attempt-1)); serr != nil {
+				break
+			}
+		}
+		res, hits, panicked, err = m.safeExecute(ctx, spec)
+		if err == nil || !core.Transient(err) {
+			break
+		}
+	}
+	if err == nil {
+		return res, hits, nil
+	}
+	je := &JobError{Stage: StageEvaluate, Err: err, Panicked: panicked}
+	var inner *JobError
+	if errors.As(err, &inner) {
+		je = inner
+		je.Panicked = je.Panicked || panicked
+	}
+	if je.Attempts == 0 {
+		je.Attempts = m.retry.Attempts
+	}
+	return nil, hits, je
+}
+
+// safeExecute is one panic-isolated attempt of the job pipeline.
+func (m *Manager) safeExecute(ctx context.Context, spec JobSpec) (res *core.Result, hits []string, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.faults.PanicsRecovered.Add(1)
+			panicked = true
+			err = fmt.Errorf("job pipeline panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	res, hits, err = m.execute(ctx, spec)
+	return res, hits, false, err
+}
+
+// jobBackoff is the pre-retry delay for whole-job retry r (1-based):
+// Base·2^(r-1) capped at Max, scaled by a deterministic jitter in [0.5, 1).
+func jobBackoff(p RetryPolicy, r int) time.Duration {
+	d := p.Base << uint(min(r-1, 16))
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	f := 0.5 + 0.5*float64(fault.Mix64(uint64(r))>>11)/(1<<53)
+	return time.Duration(float64(d) * f)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// runStage runs one pipeline stage under its own deadline. The artifact
+// builders cannot observe a context mid-build, so the deadline is enforced
+// from outside: on expiry the stage's goroutine is abandoned (its result, if
+// it ever finishes, still lands in the artifact cache for the next attempt)
+// and a stage-attributed error returns promptly.
+func (m *Manager) runStage(ctx context.Context, stage string, fn func() error) error {
+	ctx, cancel := context.WithTimeout(ctx, m.stageTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return &JobError{Stage: stage, Err: err}
+		}
+		return nil
+	case <-ctx.Done():
+		return &JobError{Stage: stage, Err: fmt.Errorf("stage deadline: %w", ctx.Err())}
+	}
+}
+
 // execute resolves the artifact chain (mesh → field → evaluator → tiling)
-// and runs the evaluation. It reports which expensive artifacts were served
-// warm from the cache.
+// and runs the evaluation, each stage under its own deadline. It reports
+// which expensive artifacts were served warm from the cache. Errors are
+// stage-attributed *JobErrors.
 func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []string, error) {
 	mesh, ok := m.arts.Mesh(spec.MeshID)
 	if !ok {
-		return nil, nil, fmt.Errorf("mesh %q evicted before the job ran: %w", spec.MeshID, ErrMeshNotFound)
+		return nil, nil, &JobError{Stage: StageArtifacts,
+			Err: fmt.Errorf("mesh %q evicted before the job ran: %w", spec.MeshID, ErrMeshNotFound)}
 	}
 	boundary, err := parseBoundary(spec.Boundary)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &JobError{Stage: StageArtifacts, Err: err}
 	}
-	var hits []string
-	ev, hit, err := m.arts.Evaluator(mesh, spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
-	if err != nil {
-		return nil, nil, err
-	}
-	if hit {
-		hits = append(hits, "evaluator")
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, hits, err
-	}
-	switch parseScheme(spec.Scheme) {
-	case core.PerPoint:
-		res, err := ev.RunPerPointCtx(ctx, spec.Blocks)
-		return res, hits, err
-	default:
-		evalKey := EvalKey(spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
-		tiling, hit, err := m.arts.Tiling(ev, evalKey, spec.Blocks)
+
+	// Artifact stage: kernel tables, grids, projections, tiling. The builds
+	// cannot observe ctx, so runStage bounds them from outside.
+	var (
+		hits   []string
+		ev     *core.Evaluator
+		tiling *tile.Tiling
+	)
+	perElement := parseScheme(spec.Scheme) == core.PerElement
+	if err := m.runStage(ctx, StageArtifacts, func() error {
+		var hit bool
+		var err error
+		ev, hit, err = m.arts.Evaluator(mesh, spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
 		if err != nil {
-			return nil, hits, err
+			return err
+		}
+		if hit {
+			hits = append(hits, "evaluator")
+		}
+		if !perElement {
+			return nil
+		}
+		evalKey := EvalKey(spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
+		tiling, hit, err = m.arts.Tiling(ev, evalKey, spec.Blocks)
+		if err != nil {
+			return err
 		}
 		if hit {
 			hits = append(hits, "tiling")
 		}
-		res, err := ev.RunPerElementCtx(ctx, tiling)
-		return res, hits, err
+		return nil
+	}); err != nil {
+		return nil, hits, err
 	}
+
+	// Evaluation stage: the resilient runners observe ctx directly, so the
+	// stage deadline composes with the job deadline through the context.
+	evalCtx, cancel := context.WithTimeout(ctx, m.stageTimeout)
+	defer cancel()
+	rs := &core.Resilience{
+		MaxAttempts:  m.retry.Attempts,
+		BaseDelay:    m.retry.Base,
+		MaxDelay:     m.retry.Max,
+		AllowPartial: spec.AllowPartial,
+		Faults:       m.faults,
+	}
+	var res *core.Result
+	if perElement {
+		res, err = ev.RunPerElementResilientCtx(evalCtx, tiling, rs)
+	} else {
+		res, err = ev.RunPerPointResilientCtx(evalCtx, spec.Blocks, rs)
+	}
+	if err != nil {
+		return nil, hits, &JobError{Stage: StageEvaluate, Err: err}
+	}
+	return res, hits, nil
 }

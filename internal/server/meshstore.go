@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unstencil/internal/mesh"
+)
+
+// MeshStore persists uploaded meshes under the service state directory so
+// that jobs replayed from the journal after a crash can re-resolve their
+// meshes even though the in-memory artifact cache starts cold. Files are
+// named by content hash, written via temp-file + rename (a crash mid-write
+// never leaves a readable-but-corrupt mesh), and verified against their
+// hash on load.
+type MeshStore struct {
+	dir string
+}
+
+// NewMeshStore opens (creating if needed) a mesh store rooted at dir.
+func NewMeshStore(dir string) (*MeshStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: mesh store: %w", err)
+	}
+	return &MeshStore{dir: dir}, nil
+}
+
+func (s *MeshStore) path(id string) string {
+	return filepath.Join(s.dir, "mesh-"+id+".json")
+}
+
+// Save persists m keyed by its content hash and returns the id. Saving the
+// same mesh twice is an idempotent overwrite.
+func (s *MeshStore) Save(m *mesh.Mesh) (string, error) {
+	id := m.ContentHash()
+	tmp, err := os.CreateTemp(s.dir, "mesh-*.tmp")
+	if err != nil {
+		return id, fmt.Errorf("server: mesh store save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := mesh.Encode(tmp, m); err != nil {
+		tmp.Close()
+		return id, fmt.Errorf("server: mesh store save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return id, fmt.Errorf("server: mesh store save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return id, fmt.Errorf("server: mesh store save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		return id, fmt.Errorf("server: mesh store save: %w", err)
+	}
+	return id, nil
+}
+
+// Load reads the mesh with the given content hash, verifying integrity: a
+// stored file whose decoded hash does not match its name (bit rot, manual
+// tampering) is an error, never a silently wrong mesh.
+func (s *MeshStore) Load(id string) (*mesh.Mesh, error) {
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := mesh.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: mesh store load %s: %w", id, err)
+	}
+	if got := m.ContentHash(); got != id {
+		return nil, fmt.Errorf("server: mesh store load %s: content hash mismatch (got %s)", id, got)
+	}
+	return m, nil
+}
+
+// Has reports whether a mesh with the given id is on disk.
+func (s *MeshStore) Has(id string) bool {
+	_, err := os.Stat(s.path(id))
+	return err == nil
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"unstencil/internal/fault"
+	"unstencil/internal/mesh"
+)
+
+// enableFaults turns on deterministic fault injection for the test and
+// guarantees it is off afterwards (the injector is process-global).
+func enableFaults(t *testing.T, cfg fault.Config) {
+	t.Helper()
+	if err := fault.Enable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disable)
+}
+
+// TestRecoveryMiddleware: a panic inside the handler chain must surface as a
+// 500 with the uniform JSON error envelope — never a dropped connection or a
+// dead process — and must be counted.
+func TestRecoveryMiddleware(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	enableFaults(t, fault.Config{
+		Seed:  1,
+		Mode:  fault.ModePanic,
+		Sites: map[string]float64{SiteHandler: 1},
+	})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("request after handler panic failed at transport level: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("500 body is not the JSON error envelope: %v", err)
+	}
+	if !strings.Contains(body.Error, "internal error") {
+		t.Errorf("error body %q lacks the internal-error marker", body.Error)
+	}
+	if got := srv.Faults().Snapshot().PanicsRecovered; got == 0 {
+		t.Error("recovered panic not counted")
+	}
+
+	// Injected errors (non-panic flavor) take the same recovery path.
+	enableFaults(t, fault.Config{
+		Seed:  2,
+		Mode:  fault.ModeError,
+		Sites: map[string]float64{SiteHandler: 1},
+	})
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("error-mode status %d, want 500", resp2.StatusCode)
+	}
+
+	// With injection off the server must be fully healthy again.
+	fault.Disable()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("post-recovery healthz: code %d status %q", code, h.Status)
+	}
+}
+
+// TestSubmissionCaps: resource-shaped parameters beyond the documented caps
+// are rejected with 400 at submission time, before any memory is committed.
+func TestSubmissionCaps(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	meshID := uploadMesh(t, ts, mesh.Structured(4))
+
+	cases := []struct {
+		name string
+		spec JobSpec
+		code int
+	}{
+		{"blocks over cap", JobSpec{MeshID: meshID, Scheme: "per-element", P: 1, Blocks: MaxBlocks + 1}, http.StatusBadRequest},
+		{"negative blocks", JobSpec{MeshID: meshID, Scheme: "per-element", P: 1, Blocks: -3}, http.StatusBadRequest},
+		{"grid degree over cap", JobSpec{MeshID: meshID, Scheme: "per-point", P: 1, GridDegree: MaxGridDegree + 1}, http.StatusBadRequest},
+		{"kernel order zero", JobSpec{MeshID: meshID, Scheme: "per-point", P: 0}, http.StatusBadRequest},
+		{"negative timeout", JobSpec{MeshID: meshID, Scheme: "per-point", P: 1, TimeoutMS: -1}, http.StatusBadRequest},
+		{"blocks at cap accepted", JobSpec{MeshID: meshID, Scheme: "per-point", P: 1, Blocks: MaxBlocks}, http.StatusAccepted},
+	}
+	for _, c := range cases {
+		if _, code := submitJob(t, ts, c.spec); code != c.code {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.code)
+		}
+	}
+}

@@ -27,9 +27,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 
+	"unstencil/internal/fault"
 	"unstencil/internal/mesh"
+	"unstencil/internal/metrics"
 )
 
 // Config sizes the service; zero fields take the documented defaults.
@@ -52,6 +55,16 @@ type Config struct {
 	// EvalWorkers bounds each evaluation's internal concurrency;
 	// 0 means GOMAXPROCS.
 	EvalWorkers int
+	// StateDir, when set, enables crash recovery: accepted jobs are recorded
+	// in a fsynced journal and uploaded meshes persisted to disk, and on
+	// startup incomplete jobs are re-enqueued. Empty disables durability.
+	StateDir string
+	// StageTimeout caps each pipeline stage (artifact build, evaluation)
+	// separately; 0 means the job timeout.
+	StageTimeout time.Duration
+	// Retry shapes unit- and job-level retry of transient failures
+	// (zero value: no retry).
+	Retry RetryPolicy
 	// Log receives structured request and job logs; nil disables logging.
 	Log *slog.Logger
 }
@@ -76,26 +89,49 @@ type Server struct {
 	cfg     Config
 	arts    *Artifacts
 	mgr     *Manager
+	journal *Journal
+	faults  *metrics.FaultCounters
 	log     *slog.Logger
 	start   time.Time
 	handler http.Handler
 }
 
-// New assembles the artifact cache, job manager and routes.
-func New(cfg Config) *Server {
+// New assembles the artifact cache, job manager and routes. With
+// cfg.StateDir set it also opens the durable mesh store and the job journal,
+// and re-enqueues jobs that were accepted but unfinished when the previous
+// process died.
+func New(cfg Config) (*Server, error) {
 	cfg.defaults()
 	s := &Server{
-		cfg:   cfg,
-		arts:  NewArtifacts(NewCache(cfg.CacheBytes), cfg.EvalWorkers),
-		log:   cfg.Log,
-		start: time.Now(),
+		cfg:    cfg,
+		arts:   NewArtifacts(NewCache(cfg.CacheBytes), cfg.EvalWorkers),
+		faults: &metrics.FaultCounters{},
+		log:    cfg.Log,
+		start:  time.Now(),
+	}
+	var pending []PendingJob
+	if cfg.StateDir != "" {
+		store, err := NewMeshStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.arts.SetStore(store)
+		s.journal, pending, err = OpenJournal(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.mgr = NewManager(s.arts, cfg.Log, ManagerConfig{
 		Workers:      cfg.Workers,
 		QueueSize:    cfg.QueueSize,
 		JobTimeout:   cfg.JobTimeout,
+		StageTimeout: cfg.StageTimeout,
 		DefaultBlock: cfg.DefaultBlocks,
+		Retry:        cfg.Retry,
+		Journal:      s.journal,
+		Faults:       s.faults,
 	})
+	s.mgr.Replay(pending)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/meshes", s.handleMeshUpload)
@@ -107,9 +143,21 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
-	s.handler = s.withLogging(mux)
-	return s
+	s.handler = s.withLogging(s.withRecovery(mux))
+	return s, nil
 }
+
+// Close releases durable-state resources (the journal file). It does not
+// stop the job manager; call Manager().Shutdown first.
+func (s *Server) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// Faults exposes the shared recovery counters (metrics endpoint, tests).
+func (s *Server) Faults() *metrics.FaultCounters { return s.faults }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -120,15 +168,69 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Manager exposes the job manager (shutdown, tests).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// statusRecorder captures the response code for the request log.
+// statusRecorder captures the response code for the request log and whether
+// the response has started (the recovery middleware can only substitute a
+// 500 before the first write).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.wrote = true
+		if r.status == 0 {
+			r.status = http.StatusOK
+		}
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// withRecovery converts a handler panic into a 500 JSON error instead of
+// killing the connection (and, under net/http, only the goroutine — but a
+// panicking handler still drops the response on the floor). It sits inside
+// withLogging so the request log records the 500. http.ErrAbortHandler is
+// re-panicked: it is the sanctioned way to abort a response.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.faults.PanicsRecovered.Add(1)
+			if s.log != nil {
+				s.log.Error("handler panic recovered",
+					"method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
+			}
+			// If the handler already started the response we cannot change
+			// the status; otherwise surface a JSON 500.
+			if !rec.wrote {
+				writeError(w, http.StatusInternalServerError, "internal error: %v", v)
+			}
+		}()
+		// The injection site covers the whole request path: in panic mode it
+		// exercises this very middleware, in error mode it simulates a
+		// handler failing before writing a response.
+		if err := fault.Inject(SiteHandler); err != nil {
+			panic(err)
+		}
+		next.ServeHTTP(rec, r)
+	})
 }
 
 func (s *Server) withLogging(next http.Handler) http.Handler {
@@ -173,7 +275,13 @@ func (s *Server) handleMeshUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id := s.arts.PutMesh(m)
+	id, err := s.arts.PutMesh(m)
+	if err != nil && s.log != nil {
+		// The mesh is resident in memory; losing the durable copy only
+		// weakens crash recovery, so serve degraded rather than reject.
+		s.log.Warn("mesh not persisted; jobs on it will not survive a restart",
+			"mesh", id, "err", err)
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"mesh_id":   id,
 		"num_tris":  m.NumTris(),
@@ -284,7 +392,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cache := s.arts.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"uptime_ms":      float64(time.Since(s.start)) / float64(time.Millisecond),
 		"queue_depth":    s.mgr.QueueDepth(),
 		"queue_capacity": s.mgr.QueueCapacity(),
@@ -294,5 +402,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cache":          cache,
 		"cache_hit_rate": cache.HitRate(),
 		"schemes":        s.mgr.Totals(),
-	})
+		"faults":         s.faults.Snapshot(),
+	}
+	if fault.Enabled() {
+		body["fault_injection"] = fault.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -19,9 +19,28 @@ import (
 	"unstencil/internal/mesh"
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func putMesh(t *testing.T, srv *Server, m *mesh.Mesh) string {
+	t.Helper()
+	id, err := srv.arts.PutMesh(m)
+	if err != nil {
+		t.Fatalf("PutMesh: %v", err)
+	}
+	return id
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -388,9 +407,9 @@ func TestJobTimeout(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	srv := New(Config{Workers: 2, EvalWorkers: 1})
+	srv := mustNew(t, Config{Workers: 2, EvalWorkers: 1})
 	m := mesh.Structured(10)
-	id := srv.arts.PutMesh(m)
+	id := putMesh(t, srv, m)
 	job, err := srv.Manager().Submit(JobSpec{MeshID: id, Scheme: "per-element", P: 1, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -428,9 +447,9 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // TestShutdownDeadlineCancelsInFlight: when the drain window expires, the
 // in-flight evaluation is aborted through its context rather than leaking.
 func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
-	srv := New(Config{Workers: 1, EvalWorkers: 1})
+	srv := mustNew(t, Config{Workers: 1, EvalWorkers: 1})
 	m := mesh.Structured(32)
-	id := srv.arts.PutMesh(m)
+	id := putMesh(t, srv, m)
 	job, err := srv.Manager().Submit(JobSpec{MeshID: id, Scheme: "per-point", P: 2, Blocks: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -451,9 +470,9 @@ func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
 // TestConcurrentSubmitAndShutdown hammers Submit while Shutdown runs to
 // exercise the closing/enqueue race under -race.
 func TestConcurrentSubmitAndShutdown(t *testing.T) {
-	srv := New(Config{Workers: 2, QueueSize: 4, EvalWorkers: 1})
+	srv := mustNew(t, Config{Workers: 2, QueueSize: 4, EvalWorkers: 1})
 	m := mesh.Structured(4)
-	id := srv.arts.PutMesh(m)
+	id := putMesh(t, srv, m)
 	stop := make(chan struct{})
 	go func() {
 		for {

@@ -184,6 +184,33 @@ func (t *Tiling) ReduceOwned(p int, bufs [][]float64, out []float64) {
 	}
 }
 
+// UncoveredPoints returns the number of grid points that lose at least one
+// partial contribution when the given patches drop out (the union of their
+// influence regions). The fault-tolerant per-element runner uses it to
+// report coverage after tiles exhaust their retry budget: because each
+// patch writes only its own scratch-pad, dropping a patch affects exactly
+// these points and no others.
+func (t *Tiling) UncoveredPoints(failed []int) int {
+	if len(failed) == 0 {
+		return 0
+	}
+	words := (t.NumPoints + 63) / 64
+	bits := make([]uint64, words)
+	for _, p := range failed {
+		if p < 0 || p >= t.K {
+			panic(fmt.Sprintf("tile: UncoveredPoints patch %d outside [0, %d)", p, t.K))
+		}
+		for _, pt := range t.Slots[p] {
+			bits[pt>>6] |= 1 << (uint(pt) & 63)
+		}
+	}
+	n := 0
+	for _, w := range bits {
+		n += popcount(w)
+	}
+	return n
+}
+
 // Colors greedily colours the patch-overlap graph: two patches conflict
 // when their influence regions share at least one grid point. Patches of
 // one colour can execute concurrently writing directly into the global

@@ -303,3 +303,41 @@ func TestMorePatchesThanElements(t *testing.T) {
 		t.Fatalf("Colors length %d, want %d", len(colors), k)
 	}
 }
+
+func TestUncoveredPoints(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 8, 0.1)
+	tl := New(m, pointElem, 4, mark)
+
+	if n := tl.UncoveredPoints(nil); n != 0 {
+		t.Fatalf("UncoveredPoints(nil) = %d, want 0", n)
+	}
+	// A single failed patch uncovers exactly its slot set.
+	for p := 0; p < tl.K; p++ {
+		if n := tl.UncoveredPoints([]int{p}); n != len(tl.Slots[p]) {
+			t.Fatalf("patch %d: uncovered %d, want %d", p, n, len(tl.Slots[p]))
+		}
+	}
+	// All patches failed -> every point uncovered (influence regions cover
+	// the grid, since every point is marked by its owning patch).
+	all := make([]int, tl.K)
+	for p := range all {
+		all[p] = p
+	}
+	if n := tl.UncoveredPoints(all); n != tl.NumPoints {
+		t.Fatalf("all patches failed: uncovered %d, want %d", n, tl.NumPoints)
+	}
+	// The union of two overlapping patches is at most the sum, at least the
+	// max, of the individual counts.
+	a, b := len(tl.Slots[0]), len(tl.Slots[1])
+	u := tl.UncoveredPoints([]int{0, 1})
+	if u > a+b || u < max(a, b) {
+		t.Fatalf("union %d outside [%d, %d]", u, max(a, b), a+b)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range patch id did not panic")
+		}
+	}()
+	tl.UncoveredPoints([]int{tl.K})
+}
