@@ -1,0 +1,81 @@
+// Command unstencil-bench runs the fixed-seed hot-path benchmark suite and
+// records the results in a JSON trajectory file (BENCH_PR3.json at the repo
+// root) so performance work is provable and regressions are visible across
+// commits.
+//
+// Usage:
+//
+//	unstencil-bench -label after -out BENCH_PR3.json
+//	unstencil-bench -out BENCH_PR3.json -compare before,after
+//
+// Each invocation merges its results into the output file under -label,
+// preserving runs recorded under other labels; -compare prints a
+// benchstat-like base-vs-head table from the stored runs without
+// re-benchmarking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unstencil/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_PR3.json", "trajectory file to merge results into")
+		label     = flag.String("label", "head", "label to record this run under (e.g. before, after)")
+		size      = flag.Int("size", 0, "override benchmark mesh size (0 = suite default)")
+		compare   = flag.String("compare", "", "compare two stored labels, e.g. before,after (skips benchmarking)")
+		threshold = flag.Float64("warn-below", 0, "with -compare: exit 1 when geomean speedup falls below this")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultHotPathConfig()
+	if *size > 0 {
+		cfg.Size = *size
+	}
+
+	rep, err := bench.LoadHotPathReport(*out, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare != "" {
+		parts := strings.SplitN(*compare, ",", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-compare wants base,head; got %q", *compare))
+		}
+		gm := rep.FprintComparison(os.Stdout, strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+		if *threshold > 0 && gm < *threshold {
+			fmt.Fprintf(os.Stderr, "unstencil-bench: geomean speedup %.2fx below threshold %.2fx\n", gm, *threshold)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "running hot-path suite (size=%d, label=%q)...\n", cfg.Size, *label)
+	results, err := bench.RunHotPath(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-34s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.ModelGFLOPs > 0 {
+			fmt.Printf(" %8.3f model-GF/s", r.ModelGFLOPs)
+		}
+		fmt.Println()
+	}
+	rep.Runs[*label] = results
+	if err := rep.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unstencil-bench:", err)
+	os.Exit(1)
+}

@@ -23,10 +23,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +55,7 @@ func main() {
 		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "backoff cap")
 		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage (artifact build, evaluation) cap; 0 = job timeout")
 		faultSpec    = flag.String("fault-spec", "", "enable deterministic fault injection, e.g. seed=42,mode=mixed,sites=core.tile:0.01 (testing only)")
+		debugAddr    = flag.String("debug-addr", "", "separate listen address for net/http/pprof and expvar (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -98,6 +101,31 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Profiling/introspection stays off the service listener so production
+	// traffic policies (auth, body limits) never apply to it and it can be
+	// bound to loopback only.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Info("debug listener (pprof, expvar)", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Warn("debug listener", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Info("unstencild listening", "addr", *addr, "workers", *workers, "queue", *queue)
@@ -117,6 +145,11 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Warn("debug shutdown", "err", err)
+		}
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Warn("http shutdown", "err", err)
 	}

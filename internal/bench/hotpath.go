@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+// HotPathConfig parameterises the fixed-seed hot-path benchmark suite that
+// cmd/unstencil-bench runs and CI regresses against. The defaults are sized
+// so the whole suite finishes in well under a minute on one core.
+type HotPathConfig struct {
+	// Size is the approximate triangle count of the benchmark mesh.
+	Size int
+	// Orders are the dG polynomial orders swept by the scheme benchmarks.
+	Orders []int
+	// Seed fixes the mesh generator so runs are comparable across commits.
+	Seed int64
+	// Patches is the per-element tiling patch count.
+	Patches int
+	// OneSidedN is the structured-mesh resolution of the one-sided sweep
+	// (kernel-construction bound, so it stays small).
+	OneSidedN int
+}
+
+// DefaultHotPathConfig returns the suite configuration used by CI and by
+// the committed BENCH_PR3.json trajectory file.
+func DefaultHotPathConfig() HotPathConfig {
+	return HotPathConfig{
+		Size:      1000,
+		Orders:    []int{1, 2},
+		Seed:      1,
+		Patches:   16,
+		OneSidedN: 8,
+	}
+}
+
+// HotPathResult is one benchmark case of the suite. NsPerOp is wall-clock;
+// the modeled GFLOP/s comes from the evaluator's exact counter-based FLOP
+// model divided by measured wall time, mirroring how the paper's
+// figures are produced.
+type HotPathResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ModelGFLOPs is modeled FLOPs / wall-clock in GFLOP/s for scheme
+	// runs; 0 for micro cases without a counter model.
+	ModelGFLOPs float64 `json:"model_gflops,omitempty"`
+}
+
+// HotPathReport is the JSON document cmd/unstencil-bench writes: one result
+// list per label (typically "before" and "after" a hot-path change), plus
+// environment metadata needed to compare runs honestly.
+type HotPathReport struct {
+	GoVersion  string                     `json:"go_version"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Config     HotPathConfig              `json:"config"`
+	Runs       map[string][]HotPathResult `json:"runs"`
+}
+
+// RunHotPath executes the fixed-seed suite and returns one result per case.
+func RunHotPath(cfg HotPathConfig) ([]HotPathResult, error) {
+	if cfg.Size <= 0 {
+		cfg = DefaultHotPathConfig()
+	}
+	var out []HotPathResult
+	var flops uint64
+
+	m, err := mesh.SizedLowVariance(cfg.Size, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range cfg.Orders {
+		f := dg.Project(m, p, testField, 2)
+		ev, err := core.NewEvaluator(f, core.Options{P: p, GridDegree: -1})
+		if err != nil {
+			return nil, err
+		}
+
+		r := runCase(fmt.Sprintf("per-point/%s/P%d", sizeLabel(cfg.Size), p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ev.RunPerPoint(cfg.Patches)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flops = res.Total.Flops
+			}
+		})
+		r.ModelGFLOPs = gflops(flops, r.NsPerOp)
+		out = append(out, r)
+
+		tl := ev.NewTiling(cfg.Patches)
+		r = runCase(fmt.Sprintf("per-element/%s/P%d", sizeLabel(cfg.Size), p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ev.RunPerElement(tl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flops = res.Total.Flops
+			}
+		})
+		r.ModelGFLOPs = gflops(flops, r.NsPerOp)
+		out = append(out, r)
+	}
+
+	// Evaluator construction (grid generation, bounds, hash grids) and
+	// tiling build, the phases NewEvaluator/NewTiling parallelise.
+	fb := dg.Project(m, 1, testField, 2)
+	out = append(out, runCase(fmt.Sprintf("new-evaluator/%s/P1", sizeLabel(cfg.Size)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewEvaluator(fb, core.Options{P: 1, GridDegree: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	evb, err := core.NewEvaluator(fb, core.Options{P: 1, GridDegree: -1})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, runCase(fmt.Sprintf("new-tiling/%s/P1", sizeLabel(cfg.Size)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evb.NewTiling(cfg.Patches)
+		}
+	}))
+
+	// EvalAt: scattered single-point queries (streamline-style workload).
+	pts := haltonPoints(256)
+	out = append(out, runCase(fmt.Sprintf("evalat/%s/P1", sizeLabel(cfg.Size)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evb.EvalAt(pts[i%len(pts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// One-sided sweep: kernel construction per boundary-adjacent candidate
+	// dominates without a cache; this is the case the kernel cache targets.
+	ms := mesh.Structured(cfg.OneSidedN)
+	fs := dg.Project(ms, 1, testField, 2)
+	evs, err := core.NewEvaluator(fs, core.Options{P: 1, Boundary: core.OneSided})
+	if err != nil {
+		return nil, err
+	}
+	tls := evs.NewTiling(4)
+	r := runCase(fmt.Sprintf("onesided-per-element/s%d/P1", cfg.OneSidedN), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := evs.RunPerElement(tls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flops = res.Total.Flops
+		}
+	})
+	r.ModelGFLOPs = gflops(flops, r.NsPerOp)
+	out = append(out, r)
+
+	return out, nil
+}
+
+func gflops(flops uint64, nsPerOp float64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(flops) / nsPerOp
+}
+
+func runCase(name string, fn func(b *testing.B)) HotPathResult {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return HotPathResult{
+		Name:        name,
+		N:           res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// haltonPoints returns a deterministic low-discrepancy point set in the
+// open unit square, kept away from the boundary so periodic evaluators
+// exercise interior and wrap-around stencils alike.
+func haltonPoints(n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(
+			0.02+0.96*halton(i+1, 2),
+			0.02+0.96*halton(i+1, 3),
+		)
+	}
+	return out
+}
+
+func halton(i, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// LoadHotPathReport reads path, returning an empty report (never nil maps)
+// if the file does not exist.
+func LoadHotPathReport(path string, cfg HotPathConfig) (*HotPathReport, error) {
+	rep := &HotPathReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+		Runs:       map[string][]HotPathResult{},
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rep, nil
+		}
+		return nil, err
+	}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.Runs == nil {
+		rep.Runs = map[string][]HotPathResult{}
+	}
+	// Environment metadata always reflects the latest writer.
+	rep.GoVersion = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Config = cfg
+	return rep, nil
+}
+
+// Save writes the report as stable, indented JSON.
+func (rep *HotPathReport) Save(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Speedups returns name → ns/op ratio between two labelled runs (base over
+// head, so > 1 means head is faster). Names present in only one run are
+// skipped.
+func (rep *HotPathReport) Speedups(base, head string) map[string]float64 {
+	b := rep.Runs[base]
+	h := rep.Runs[head]
+	if b == nil || h == nil {
+		return nil
+	}
+	byName := map[string]float64{}
+	for _, r := range b {
+		byName[r.Name] = r.NsPerOp
+	}
+	out := map[string]float64{}
+	for _, r := range h {
+		if bns, ok := byName[r.Name]; ok && r.NsPerOp > 0 {
+			out[r.Name] = bns / r.NsPerOp
+		}
+	}
+	return out
+}
+
+// FprintComparison renders a base-vs-head table to w in a benchstat-like
+// layout; it returns the geometric-mean speedup (0 when no common cases).
+func (rep *HotPathReport) FprintComparison(w *os.File, base, head string) float64 {
+	sp := rep.Speedups(base, head)
+	if len(sp) == 0 {
+		fmt.Fprintf(w, "no common cases between %q and %q\n", base, head)
+		return 0
+	}
+	names := make([]string, 0, len(sp))
+	for n := range sp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	baseNs := map[string]HotPathResult{}
+	for _, r := range rep.Runs[base] {
+		baseNs[r.Name] = r
+	}
+	headNs := map[string]HotPathResult{}
+	for _, r := range rep.Runs[head] {
+		headNs[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-34s %14s %14s %9s\n", "case", base+" ns/op", head+" ns/op", "speedup")
+	logSum := 0.0
+	for _, n := range names {
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %8.2fx\n",
+			n, baseNs[n].NsPerOp, headNs[n].NsPerOp, sp[n])
+		logSum += math.Log(sp[n])
+	}
+	gm := math.Exp(logSum / float64(len(names)))
+	fmt.Fprintf(w, "%-34s %14s %14s %8.2fx\n", "geomean", "", "", gm)
+	return gm
+}

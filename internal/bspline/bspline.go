@@ -67,7 +67,7 @@ func BSplineMoment(n, m int) float64 {
 	for span := 0; span < n; span++ {
 		a := lo + float64(span)
 		total += quadrature.Integrate1D(func(t float64) float64 {
-			return BSpline(n, t) * math.Pow(t, float64(m))
+			return BSpline(n, t) * powi(t, m)
 		}, a, a+1, pts)
 	}
 	return total
@@ -138,6 +138,15 @@ func newKernel(k int, nodes []float64) (*Kernel, error) {
 	for j := 0; j <= r; j++ {
 		mu[j] = BSplineMoment(n, j)
 	}
+	// pow[g][j] = nodes[g]^j, built incrementally once per node.
+	pow := make([][]float64, r+1)
+	for g := range pow {
+		pow[g] = make([]float64, r+1)
+		pow[g][0] = 1
+		for j := 1; j <= r; j++ {
+			pow[g][j] = pow[g][j-1] * nodes[g]
+		}
+	}
 	a := linalg.NewMatrix(r+1, r+1)
 	for m := 0; m <= r; m++ {
 		for g := 0; g <= r; g++ {
@@ -147,7 +156,7 @@ func newKernel(k int, nodes []float64) (*Kernel, error) {
 				if j > 0 {
 					c = c * float64(m-j+1) / float64(j)
 				}
-				s += c * mu[j] * math.Pow(nodes[g], float64(m-j))
+				s += c * mu[j] * pow[g][m-j]
 			}
 			a.Set(m, g, s)
 		}
@@ -254,6 +263,26 @@ func (ker *Kernel) Eval(x float64) float64 {
 	return s
 }
 
+// EvalPiece evaluates kernel piece i at the local coordinate t = x −
+// Breaks[i], t ∈ [0, 1]. It is the hot-path form of Eval: the caller already
+// knows which break interval it is integrating over (stencil squares are
+// exactly the break lattice), so the floor and bounds search are skipped and
+// the piece polynomial is evaluated directly by Horner. i must be in
+// [0, NumPieces()).
+func (ker *Kernel) EvalPiece(i int, t float64) float64 {
+	p := ker.pieces[i]
+	s := p[len(p)-1]
+	for d := len(p) - 2; d >= 0; d-- {
+		s = s*t + p[d]
+	}
+	return s
+}
+
+// Piece returns the monomial coefficients (ascending powers of the local
+// coordinate t = x − Breaks[i]) of kernel piece i. Hot loops hoist the
+// slice out of their innermost pass; callers must not modify it.
+func (ker *Kernel) Piece(i int) []float64 { return ker.pieces[i] }
+
 // PieceIndex returns the break interval containing x, or -1 outside the
 // support. The post-processor uses this to align stencil squares with kernel
 // polynomial pieces.
@@ -269,18 +298,32 @@ func (ker *Kernel) PieceIndex(x float64) int {
 func (ker *Kernel) NumPieces() int { return len(ker.pieces) }
 
 // Moment returns ∫ K(y)·y^m dy computed from the piecewise representation
-// with exact quadrature; used by tests and diagnostics.
+// with exact quadrature; used by tests and diagnostics. Each break interval
+// uses the known piece polynomial directly (EvalPiece) and builds y^m by
+// repeated multiplication rather than math.Pow per abscissa.
 func (ker *Kernel) Moment(m int) float64 {
 	pts := (ker.K + m + 2) / 2
 	if pts < 1 {
 		pts = 1
 	}
+	g := quadrature.GaussLegendre(pts)
 	total := 0.0
 	for i := range ker.pieces {
 		a := ker.Breaks[i]
-		total += quadrature.Integrate1D(func(y float64) float64 {
-			return ker.Eval(y) * math.Pow(y, float64(m))
-		}, a, a+1, pts)
+		for q, x := range g.Nodes {
+			t := (x + 1) / 2 // map [-1,1] → local piece coordinate [0,1]
+			total += 0.5 * g.Weights[q] * ker.EvalPiece(i, t) * powi(a+t, m)
+		}
 	}
 	return total
+}
+
+// powi returns y^m for small non-negative integer m by repeated
+// multiplication.
+func powi(y float64, m int) float64 {
+	p := 1.0
+	for ; m > 0; m-- {
+		p *= y
+	}
+	return p
 }

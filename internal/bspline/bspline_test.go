@@ -311,3 +311,93 @@ func BenchmarkNewSymmetric(b *testing.B) {
 		}
 	}
 }
+
+// EvalPiece must agree with the floor-based Eval at every piece and offset:
+// the hot path relies on piece index == stencil cell index being exact.
+func TestEvalPieceMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for k := 1; k <= 4; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ker.NumPieces(); i++ {
+			for trial := 0; trial < 50; trial++ {
+				tt := rng.Float64() // local offset in [0, 1)
+				x := ker.Breaks[i] + tt
+				got := ker.EvalPiece(i, tt)
+				want := ker.Eval(x)
+				if math.Abs(got-want) > 1e-13 {
+					t.Fatalf("k=%d piece %d t=%v: EvalPiece %v, Eval %v", k, i, tt, got, want)
+				}
+			}
+			// Endpoint: t = 0 lands exactly on the break.
+			if got, want := ker.EvalPiece(i, 0), ker.Eval(ker.Breaks[i]); math.Abs(got-want) > 1e-13 {
+				t.Fatalf("k=%d piece %d t=0: EvalPiece %v, Eval %v", k, i, got, want)
+			}
+		}
+	}
+}
+
+// One-sided kernels must satisfy the same piece identity (their break
+// lattice is shifted but still unit-spaced).
+func TestEvalPieceMatchesEvalOneSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shift := range []float64{-1.25, -0.5, 0.375, 1.5} {
+		ker, err := NewOneSided(2, shift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ker.NumPieces(); i++ {
+			for trial := 0; trial < 25; trial++ {
+				tt := rng.Float64()
+				got := ker.EvalPiece(i, tt)
+				want := ker.Eval(ker.Breaks[i] + tt)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("shift=%v piece %d: EvalPiece %v, Eval %v", shift, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Piece must expose the same polynomial EvalPiece evaluates.
+func TestPieceCoefficients(t *testing.T) {
+	ker, err := NewSymmetric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ker.NumPieces(); i++ {
+		p := ker.Piece(i)
+		if len(p) != ker.K+1 {
+			t.Fatalf("piece %d has %d coefficients, want %d", i, len(p), ker.K+1)
+		}
+		tt := 0.625
+		horner := p[len(p)-1]
+		for d := len(p) - 2; d >= 0; d-- {
+			horner = horner*tt + p[d]
+		}
+		if got := ker.EvalPiece(i, tt); math.Abs(got-horner) > 1e-15 {
+			t.Fatalf("piece %d: Piece-based Horner %v != EvalPiece %v", i, horner, got)
+		}
+	}
+}
+
+// The incremental-power Moment must match the former math.Pow formulation,
+// i.e. the moment conditions themselves.
+func TestMomentMatchesConditions(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		ker, err := NewSymmetric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(ker.Moment(0) - 1); d > 1e-10 {
+			t.Errorf("k=%d: moment 0 off by %v", k, d)
+		}
+		for m := 1; m <= ker.R; m++ {
+			if d := math.Abs(ker.Moment(m)); d > 1e-9 {
+				t.Errorf("k=%d: moment %d = %v, want 0", k, m, d)
+			}
+		}
+	}
+}

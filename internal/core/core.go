@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
 	"unstencil/internal/bspline"
 	"unstencil/internal/dg"
@@ -173,9 +174,31 @@ type Evaluator struct {
 
 	rule quadrature.Rule2D // sub-region integration rule (degree P + 2k)
 
+	// horner holds the field collapsed to per-element monomial coefficients
+	// so the quadrature loop evaluates u(r,s) with one bivariate Horner
+	// pass. nil when the collapse failed its conditioning check (very high
+	// P); integrate then falls back to the modal EvalAll path.
+	horner *dg.HornerField
+
+	// osCache memoises one-sided kernels by quantised node shift, turning
+	// the per-candidate LU moment solve into an amortised map lookup. nil
+	// unless Boundary == OneSided.
+	osCache *kernelCache
+
 	// scratch is the lazily created worker used by EvalAt.
 	scratch *worker
 }
+
+// UsesHornerFields reports whether the evaluator's hot path runs on the
+// collapsed monomial (Horner) field representation. False only when the
+// modal→monomial change of basis failed its conditioning check.
+func (ev *Evaluator) UsesHornerFields() bool { return ev.horner != nil }
+
+// hornerResidualTol bounds the acceptable |Horner − modal| disagreement,
+// relative to the field's largest modal coefficient, before the evaluator
+// falls back to the modal path. The Vandermonde collapse conditions
+// combinatorially in P; for SIAC-practical orders the residual is ~1e-13.
+const hornerResidualTol = 1e-9
 
 // NewEvaluator validates options, builds the SIAC kernel, the computation
 // grid and both hash grids.
@@ -200,20 +223,28 @@ func NewEvaluator(f *dg.Field, opt Options) (*Evaluator, error) {
 		W:      opt.H * float64(3*opt.P+1),
 		rule:   quadrature.TriangleForDegree(3 * opt.P), // degree P + 2k, k = P
 	}
+	if opt.Boundary == OneSided {
+		ev.osCache = newKernelCache(opt.P)
+	}
 
 	// Computation grid: the nodes of a per-element quadrature rule.
+	// Per-element slots are independent, so generation fans out across
+	// Opt.Workers.
 	gr := quadrature.TriangleForDegree(opt.GridDegree)
 	ev.PerElem = gr.Len()
-	ev.Points = make([]GridPoint, 0, m.NumTris()*gr.Len())
-	for e := 0; e < m.NumTris(); e++ {
-		tri := m.Triangle(e)
-		for _, rp := range gr.Points {
-			ev.Points = append(ev.Points, GridPoint{
-				Elem: int32(e),
-				Pos:  tri.MapReference(rp.X, rp.Y),
-			})
+	ev.Points = make([]GridPoint, m.NumTris()*gr.Len())
+	parallelRange(m.NumTris(), opt.Workers, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			tri := m.Triangle(e)
+			base := e * ev.PerElem
+			for q, rp := range gr.Points {
+				ev.Points[base+q] = GridPoint{
+					Elem: int32(e),
+					Pos:  tri.MapReference(rp.X, rp.Y),
+				}
+			}
 		}
-	}
+	})
 
 	// Hash grids (paper §3.2). Element grid stores centroids with cell
 	// size cp = factor·s; point grid stores the evaluation points with
@@ -221,17 +252,71 @@ func NewEvaluator(f *dg.Field, opt Options) (*Evaluator, error) {
 	s := m.LongestEdge()
 	cents := make([]geom.Point, m.NumTris())
 	ev.elemBounds = make([]geom.AABB, m.NumTris())
-	for i := range cents {
-		cents[i] = m.Centroid(i)
-		ev.elemBounds[i] = m.Triangle(i).Bounds()
-	}
+	parallelRange(m.NumTris(), opt.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cents[i] = m.Centroid(i)
+			ev.elemBounds[i] = m.Triangle(i).Bounds()
+		}
+	})
 	ev.elemGrid = grid.New(cents, opt.CellFactorPoint*s)
 	locs := make([]geom.Point, len(ev.Points))
-	for i, gp := range ev.Points {
-		locs[i] = gp.Pos
-	}
+	parallelRange(len(ev.Points), opt.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			locs[i] = ev.Points[i].Pos
+		}
+	})
 	ev.pointGrid = grid.New(locs, opt.CellFactorElem*s)
+
+	ev.buildHornerField()
 	return ev, nil
+}
+
+// buildHornerField collapses the field into per-element monomial (Horner)
+// coefficients and validates the collapse against the modal path on a
+// spread of elements at the integration rule's nodes. On excessive residual
+// (ill-conditioned change of basis at very high P) the evaluator keeps
+// horner == nil and integrate falls back to EvalAll.
+func (ev *Evaluator) buildHornerField() {
+	hf, err := dg.NewHornerField(ev.Field, ev.Opt.Workers)
+	if err != nil {
+		return
+	}
+	probe := make([][2]float64, len(ev.rule.Points))
+	for i, p := range ev.rule.Points {
+		probe[i] = [2]float64{p.X, p.Y}
+	}
+	scale := 0.0
+	for _, c := range ev.Field.Coeffs {
+		if a := math.Abs(c); a > scale {
+			scale = a
+		}
+	}
+	if hf.Validate(ev.Field, probe, 32) <= hornerResidualTol*(1+scale) {
+		ev.horner = hf
+	}
+}
+
+// parallelRange splits [0, n) into contiguous chunks executed across up to
+// the given number of goroutines; workers <= 1 runs inline.
+func parallelRange(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 0 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // NumPoints returns the size of the computation grid.
@@ -325,7 +410,9 @@ func (ev *Evaluator) oneSidedFor(x float64) (*bspline.Kernel, error) {
 	if shift == 0 {
 		return ev.Kernel, nil
 	}
-	return bspline.NewOneSided(ev.Opt.P, shift)
+	// Amortised O(1): quantised-shift kernels are memoised instead of
+	// re-solving the moment system per candidate pair.
+	return ev.osCache.get(shift)
 }
 
 // integrate computes the contribution of element e to the post-processed
@@ -337,8 +424,8 @@ func (ev *Evaluator) oneSidedFor(x float64) (*bspline.Kernel, error) {
 // the integrand is a single polynomial on each clipped sub-region and the
 // quadrature is exact. Returns the partial solution.
 func (ev *Evaluator) integrate(center geom.Point, e int32, w *worker) float64 {
+	bb := ev.elemBounds[e]
 	tri := ev.Mesh.Triangle(int(e))
-	bb := tri.Bounds()
 	h := ev.H
 	kx, ky := w.kx, w.ky
 	bxlo, _ := kx.Support()
@@ -358,16 +445,37 @@ func (ev *Evaluator) integrate(center geom.Point, e int32, w *worker) float64 {
 	i1 = min(i1, np-1)
 	j1 = min(j1, ky.NumPieces()-1)
 
+	// Per-call element state, hoisted out of the cell and quadrature loops:
+	// the inverse reference map (one reciprocal determinant instead of a
+	// division per quadrature point) and the element's collapsed Horner
+	// coefficients.
+	invH := 1 / h
+	inv := tri.AffineInverse()
+	var hc []float64
+	if ev.horner != nil {
+		hc = ev.horner.ElemCoeffs(int(e))
+	}
+
 	minArea := 1e-14 * tri.Area()
 	basisN := ev.Field.Basis.N
 	coeffs := ev.Field.ElemCoeffs(int(e))
 	quadFlops := metrics.FlopsPerQuadEval(ev.Opt.P, ev.Opt.P)
 
+	qpts := ev.rule.Points
+	qwts := ev.rule.Weights
+	nq := uint64(len(qpts))
+
 	sum := 0.0
 	for j := j0; j <= j1; j++ {
 		cy0 := center.Y + h*(bylo+float64(j))
+		// The cell indices (i, j) are the kernel piece indices (stencil
+		// squares are the break lattice), so the piece polynomials are
+		// hoisted per cell and evaluated directly — no floor, no bounds
+		// search.
+		py := ky.Piece(j)
 		for i := i0; i <= i1; i++ {
 			cx0 := center.X + h*(bxlo+float64(i))
+			px := kx.Piece(i)
 			cell := geom.Box(cx0, cy0, cx0+h, cy0+h)
 			poly := w.clip.ClipTriangleBox(tri, cell)
 			w.counters.Flops += uint64((len(poly) + 3) * metrics.FlopsPerClipVertex)
@@ -384,21 +492,50 @@ func (ev *Evaluator) integrate(center geom.Point, e int32, w *worker) float64 {
 					w.counters.ScatteredLoads++
 				}
 				jac := 2 * tau.Area()
-				for q, rp := range ev.rule.Points {
-					p := tau.MapReference(rp.X, rp.Y)
-					r, s := tri.InverseMap(p)
-					ev.Field.Basis.EvalAll(r, s, w.basis)
-					u := 0.0
-					for mIdx := 0; mIdx < basisN; mIdx++ {
-						u += coeffs[mIdx] * w.basis[mIdx]
+				// Compose tau's reference map with the element's inverse
+				// map and the kernel-cell normalisation once per
+				// sub-region, so each quadrature point costs four fused
+				// affine evaluations instead of a map, an inverse solve
+				// and two normalisations.
+				bxu, bxv := tau.B.X-tau.A.X, tau.C.X-tau.A.X
+				byu, byv := tau.B.Y-tau.A.Y, tau.C.Y-tau.A.Y
+				dax, day := tau.A.X-inv.X0, tau.A.Y-inv.Y0
+				r0 := (dax*inv.Ys - day*inv.Xs) * inv.InvDet
+				ru := (bxu*inv.Ys - byu*inv.Xs) * inv.InvDet
+				rv := (bxv*inv.Ys - byv*inv.Xs) * inv.InvDet
+				s0 := (day*inv.Xr - dax*inv.Yr) * inv.InvDet
+				su := (byu*inv.Xr - bxu*inv.Yr) * inv.InvDet
+				sv := (byv*inv.Xr - bxv*inv.Yr) * inv.InvDet
+				tx0, txu, txv := (tau.A.X-cx0)*invH, bxu*invH, bxv*invH
+				ty0, tyu, tyv := (tau.A.Y-cy0)*invH, byu*invH, byv*invH
+				for q, rp := range qpts {
+					r := r0 + ru*rp.X + rv*rp.Y
+					s := s0 + su*rp.X + sv*rp.Y
+					var u float64
+					if hc != nil {
+						u = ev.horner.EvalCoeffs(hc, r, s)
+					} else {
+						ev.Field.Basis.EvalAll(r, s, w.basis)
+						for mIdx := 0; mIdx < basisN; mIdx++ {
+							u += coeffs[mIdx] * w.basis[mIdx]
+						}
 					}
-					kv := kx.Eval((p.X-center.X)/h) * ky.Eval((p.Y-center.Y)/h)
-					sum += ev.rule.Weights[q] * jac * kv * u
-					w.counters.QuadEvals++
-					w.counters.Flops += quadFlops
+					tx := tx0 + txu*rp.X + txv*rp.Y
+					ty := ty0 + tyu*rp.X + tyv*rp.Y
+					kvx := px[len(px)-1]
+					for d := len(px) - 2; d >= 0; d-- {
+						kvx = kvx*tx + px[d]
+					}
+					kvy := py[len(py)-1]
+					for d := len(py) - 2; d >= 0; d-- {
+						kvy = kvy*ty + py[d]
+					}
+					sum += qwts[q] * jac * kvx * kvy * u
 				}
+				w.counters.QuadEvals += nq
+				w.counters.Flops += quadFlops * nq
 			}
 		}
 	}
-	return sum / (h * h)
+	return sum * invH * invH
 }

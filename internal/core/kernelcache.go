@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"unstencil/internal/bspline"
+)
+
+// One-sided kernel construction solves a (2k+1)×(2k+1) LU moment system, so
+// building a fresh kernel per candidate (element, point) pair — as the
+// per-element scheme's inner loop would otherwise do — turns a cheap sweep
+// into a superlinear kernel-construction workload. kernelCache bounds that
+// cost to amortised O(1): node-lattice shifts are quantised onto a fixed
+// lattice and the resulting kernels memoised.
+//
+// Quantisation is sound because a one-sided SIAC kernel satisfies the same
+// moment conditions — and therefore reproduces polynomials up to degree
+// 2k — for *any* node shift; the shift only positions the support. Rounding
+// is always away from zero (toward the interior), so the quantised support
+// never crosses the boundary the exact shift was computed to avoid; the far
+// end moves inward by at most shiftQuantum·h, which is harmless while the
+// support fits in the domain at all.
+
+const (
+	// shiftQuantum is the node-lattice shift granularity in units of h.
+	// Kernel coefficients vary smoothly with shift, so neighbouring
+	// evaluation points quantised to the same bucket receive kernels that
+	// are exactly valid for a support at most one quantum away from the
+	// minimal one.
+	shiftQuantum = 1.0 / 4096
+	// kernelCacheCap bounds the cache. Shifts live in
+	// (−(3k+1)/2, (3k+1)/2), so at most (3k+1)·4096 buckets exist per
+	// axis-direction pair; the cap keeps pathological sweeps bounded
+	// anyway.
+	kernelCacheCap = 8192
+)
+
+// kernelCache is a bounded, shift-quantised memo of one-sided kernels for a
+// fixed polynomial order. Safe for concurrent use.
+type kernelCache struct {
+	k  int
+	mu sync.RWMutex
+	m  map[int64]*bspline.Kernel
+}
+
+func newKernelCache(k int) *kernelCache {
+	return &kernelCache{k: k, m: make(map[int64]*bspline.Kernel)}
+}
+
+// quantiseShift rounds shift away from zero onto the quantum lattice and
+// returns the quantised value with its integer bucket key. shift must be
+// non-zero (zero-shift callers use the symmetric kernel directly).
+func quantiseShift(shift float64) (float64, int64) {
+	var q float64
+	if shift > 0 {
+		q = math.Ceil(shift / shiftQuantum)
+	} else {
+		q = math.Floor(shift / shiftQuantum)
+	}
+	return q * shiftQuantum, int64(q)
+}
+
+// get returns the kernel for the quantised shift, building and memoising it
+// on first use.
+func (c *kernelCache) get(shift float64) (*bspline.Kernel, error) {
+	qs, key := quantiseShift(shift)
+	c.mu.RLock()
+	ker := c.m[key]
+	c.mu.RUnlock()
+	if ker != nil {
+		return ker, nil
+	}
+	ker, err := bspline.NewOneSided(c.k, qs)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if existing, ok := c.m[key]; ok {
+		ker = existing // another worker won the race; keep one canonical kernel
+	} else {
+		if len(c.m) >= kernelCacheCap {
+			// Bounded eviction: drop everything. Refills are rare (the
+			// reachable key space is small) and cost one LU solve each,
+			// which is exactly the uncached behaviour this cache removes.
+			clear(c.m)
+		}
+		c.m[key] = ker
+	}
+	c.mu.Unlock()
+	return ker, nil
+}
+
+// size reports the number of memoised kernels (for tests and diagnostics).
+func (c *kernelCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Quantisation must round away from zero so the quantised support never
+// crosses the domain boundary the exact shift was computed to avoid.
+func TestQuantiseShiftAwayFromZero(t *testing.T) {
+	for _, shift := range []float64{0.1, 0.5003, 1.999999, -0.1, -0.5003, -1.999999} {
+		qs, _ := quantiseShift(shift)
+		if math.Abs(qs) < math.Abs(shift) {
+			t.Errorf("shift %v quantised toward zero: %v", shift, qs)
+		}
+		if math.Abs(qs-shift) > shiftQuantum {
+			t.Errorf("shift %v quantised too far: %v (quantum %v)", shift, qs, shiftQuantum)
+		}
+		if qs*shift < 0 {
+			t.Errorf("shift %v changed sign: %v", shift, qs)
+		}
+	}
+}
+
+// Shifts in the same bucket must share one key; distinct buckets must not.
+func TestQuantiseShiftBuckets(t *testing.T) {
+	_, k1 := quantiseShift(0.50001)
+	_, k2 := quantiseShift(0.50002)
+	if k1 != k2 {
+		t.Fatalf("near-identical shifts got distinct keys %d, %d", k1, k2)
+	}
+	_, k3 := quantiseShift(0.75)
+	if k1 == k3 {
+		t.Fatalf("distant shifts share key %d", k1)
+	}
+}
+
+// Repeated gets for the same bucket must return one canonical kernel and
+// grow the cache by exactly one entry.
+func TestKernelCacheMemoises(t *testing.T) {
+	c := newKernelCache(2)
+	a, err := c.get(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.get(0.6 + shiftQuantum/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same-bucket gets returned distinct kernels")
+	}
+	if got := c.size(); got != 1 {
+		t.Fatalf("cache size %d after one bucket, want 1", got)
+	}
+	if _, err := c.get(-0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.size(); got != 2 {
+		t.Fatalf("cache size %d after two buckets, want 2", got)
+	}
+}
+
+// The cached kernel must be a valid one-sided kernel for the quantised
+// shift: unit mass and vanishing higher moments.
+func TestKernelCacheKernelsSatisfyMoments(t *testing.T) {
+	c := newKernelCache(1)
+	ker, err := c.get(0.87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ker.Moment(0) - 1); d > 1e-9 {
+		t.Errorf("moment 0 off by %v", d)
+	}
+	for m := 1; m <= ker.R; m++ {
+		if d := math.Abs(ker.Moment(m)); d > 1e-8 {
+			t.Errorf("moment %d = %v, want 0", m, d)
+		}
+	}
+}
+
+// Concurrent gets must be race-free and still converge on one canonical
+// kernel per bucket (run under -race in CI).
+func TestKernelCacheConcurrent(t *testing.T) {
+	c := newKernelCache(2)
+	var wg sync.WaitGroup
+	kers := make([]interface{}, 16)
+	for i := range kers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ker, err := c.get(1.25)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			kers[i] = ker
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(kers); i++ {
+		if kers[i] != kers[0] {
+			t.Fatal("concurrent gets produced non-canonical kernels")
+		}
+	}
+	if got := c.size(); got != 1 {
+		t.Fatalf("cache size %d, want 1", got)
+	}
+}

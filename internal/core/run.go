@@ -75,47 +75,10 @@ func (ev *Evaluator) RunPerPointCtx(ctx context.Context, nBlocks int) (*Result, 
 
 // evalPoint computes the post-processed solution at grid point pi,
 // accumulating contributions from every (element, periodic image) pair
-// whose geometry intersects the stencil.
+// whose geometry intersects the stencil. It is the grid-indexed form of
+// evalAt, so scheme runs and EvalAt report identical cost models.
 func (ev *Evaluator) evalPoint(pi int32, wk *worker) (float64, error) {
-	gp := ev.Points[pi]
-	kx, ky, err := ev.kernelsFor(gp.Pos)
-	if err != nil {
-		return 0, err
-	}
-	wk.kx, wk.ky = kx, ky
-	xlo, xhi := kx.Support()
-	ylo, yhi := ky.Support()
-	supp := geom.Box(
-		gp.Pos.X+ev.H*xlo, gp.Pos.Y+ev.H*ylo,
-		gp.Pos.X+ev.H*xhi, gp.Pos.Y+ev.H*yhi,
-	)
-	// Paper §3.3: every integration re-reads the element data (scattered);
-	// every candidate test fetches the candidate element's geometry from a
-	// non-contiguous location.
-	wk.edPerRegion = metrics.ElementDataBytes(ev.Opt.P)
-	total := 0.0
-	ev.forEachShift(supp, func(dx, dy int) {
-		shift := geom.Pt(float64(dx), float64(dy))
-		box := supp.Translate(shift.Scale(-1))
-		center := gp.Pos.Sub(shift)
-		wk.cand = ev.elemGrid.AppendInBox(wk.cand[:0], box, 1)
-		for _, e := range wk.cand {
-			wk.counters.IntersectionTests++
-			wk.counters.Flops += metrics.FlopsPerTest
-			wk.counters.BytesRead += metrics.ElementGeometryBytes
-			wk.counters.BytesUncoalesced += metrics.ElementGeometryBytes
-			wk.counters.ScatteredLoads++
-			if !ev.elemBounds[e].Intersects(box) {
-				continue
-			}
-			before := wk.counters.Regions
-			total += ev.integrate(center, e, wk)
-			if wk.counters.Regions > before {
-				wk.counters.TruePositives++
-			}
-		}
-	})
-	return total, nil
+	return ev.evalAt(ev.Points[pi].Pos, wk)
 }
 
 // CandidateMarker returns a marking function for tile.New and
@@ -155,21 +118,26 @@ func (ev *Evaluator) PointElems() []int32 {
 func (ev *Evaluator) NewTiling(k int) *tile.Tiling {
 	weights := make([]float64, ev.Mesh.NumTris())
 	ruleLen := float64(ev.rule.Len())
-	for e := range weights {
-		bb := ev.elemBounds[e]
-		box := bb.Pad(ev.influencePad())
-		n := 0
-		ev.forEachShift(box, func(dx, dy int) {
-			qbox := box.Translate(geom.Pt(float64(-dx), float64(-dy)))
-			n += ev.pointGrid.CountInBox(qbox, 0)
-		})
-		// Each candidate pair clips the element against the kernel cells
-		// its bounding box overlaps and integrates the clipped regions, so
-		// the per-pair cost scales with cell count × quadrature size.
-		cx := math.Floor(bb.Width()/ev.H) + 1
-		cy := math.Floor(bb.Height()/ev.H) + 1
-		weights[e] = 1 + float64(n)*(1+cx*cy*ruleLen)
-	}
+	// The candidate-count sweep only reads the point grid and element
+	// bounds, so it fans out across Opt.Workers.
+	parallelRange(ev.Mesh.NumTris(), ev.Opt.Workers, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			bb := ev.elemBounds[e]
+			box := bb.Pad(ev.influencePad())
+			n := 0
+			ev.forEachShift(box, func(dx, dy int) {
+				qbox := box.Translate(geom.Pt(float64(-dx), float64(-dy)))
+				n += ev.pointGrid.CountInBox(qbox, 0)
+			})
+			// Each candidate pair clips the element against the kernel
+			// cells its bounding box overlaps and integrates the clipped
+			// regions, so the per-pair cost scales with cell count ×
+			// quadrature size.
+			cx := math.Floor(bb.Width()/ev.H) + 1
+			cy := math.Floor(bb.Height()/ev.H) + 1
+			weights[e] = 1 + float64(n)*(1+cx*cy*ruleLen)
+		}
+	})
 	part := mesh.PartitionWeighted(ev.Mesh, k, weights)
 	return tile.NewWithPartition(ev.Mesh, ev.PointElems(), part, k, ev.CandidateMarker())
 }
@@ -323,7 +291,11 @@ func (ev *Evaluator) EvalAt(pos geom.Point) (float64, error) {
 	return ev.evalAt(pos, ev.scratch)
 }
 
-// evalAt is the position-parameterised core of evalPoint.
+// evalAt is the position-parameterised per-point gather shared by evalPoint
+// and EvalAt. It charges the full paper cost model (§3.3): every candidate
+// test fetches the candidate element's geometry from a non-contiguous
+// location, and every integration re-reads the element data (scattered) —
+// so arbitrary-position queries and scheme runs report identical counters.
 func (ev *Evaluator) evalAt(pos geom.Point, wk *worker) (float64, error) {
 	kx, ky, err := ev.kernelsFor(pos)
 	if err != nil {
@@ -345,10 +317,18 @@ func (ev *Evaluator) evalAt(pos geom.Point, wk *worker) (float64, error) {
 		wk.cand = ev.elemGrid.AppendInBox(wk.cand[:0], box, 1)
 		for _, e := range wk.cand {
 			wk.counters.IntersectionTests++
+			wk.counters.Flops += metrics.FlopsPerTest
+			wk.counters.BytesRead += metrics.ElementGeometryBytes
+			wk.counters.BytesUncoalesced += metrics.ElementGeometryBytes
+			wk.counters.ScatteredLoads++
 			if !ev.elemBounds[e].Intersects(box) {
 				continue
 			}
+			before := wk.counters.Regions
 			total += ev.integrate(center, e, wk)
+			if wk.counters.Regions > before {
+				wk.counters.TruePositives++
+			}
 		}
 	})
 	return total, nil

@@ -1,0 +1,123 @@
+package dg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unstencil/internal/mesh"
+)
+
+// The collapsed monomial field must agree with the modal path (EvalAll +
+// dot product) to near machine precision for all SIAC-practical orders.
+func TestHornerFieldMatchesModal(t *testing.T) {
+	m, merr := mesh.LowVariance(6, 1)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for p := 1; p <= 6; p++ {
+		// The Vandermonde conditioning degrades combinatorially with P;
+		// 1e-12 holds through P=4, the top practical orders sit near 1e-11.
+		tol := 1e-12
+		if p >= 5 {
+			tol = 1e-10
+		}
+		f := NewField(m, p)
+		for i := range f.Coeffs {
+			f.Coeffs[i] = rng.NormFloat64()
+		}
+		hf, err := NewHornerField(f, 1)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		buf := make([]float64, f.Basis.N)
+		for e := 0; e < m.NumTris(); e += 7 {
+			ce := f.ElemCoeffs(e)
+			for trial := 0; trial < 40; trial++ {
+				// Random barycentric point in the reference triangle.
+				r := rng.Float64()
+				s := rng.Float64() * (1 - r)
+				f.Basis.EvalAll(r, s, buf)
+				want := 0.0
+				for mm, c := range ce {
+					want += c * buf[mm]
+				}
+				got := hf.Eval(e, r, s)
+				if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+					t.Fatalf("P=%d elem %d (r=%v, s=%v): horner %v, modal %v",
+						p, e, r, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Serial and parallel collapse must produce identical coefficients.
+func TestHornerFieldParallelDeterministic(t *testing.T) {
+	m, merr := mesh.LowVariance(8, 2)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	rng := rand.New(rand.NewSource(5))
+	f := NewField(m, 3)
+	for i := range f.Coeffs {
+		f.Coeffs[i] = rng.NormFloat64()
+	}
+	serial, err := NewHornerField(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewHornerField(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Coeffs {
+		if serial.Coeffs[i] != parallel.Coeffs[i] {
+			t.Fatalf("coeff %d differs: serial %v, parallel %v",
+				i, serial.Coeffs[i], parallel.Coeffs[i])
+		}
+	}
+}
+
+// Validate must report ~0 for a healthy collapse and detect corruption.
+func TestHornerFieldValidate(t *testing.T) {
+	m, merr := mesh.LowVariance(5, 1)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	rng := rand.New(rand.NewSource(9))
+	f := NewField(m, 2)
+	for i := range f.Coeffs {
+		f.Coeffs[i] = rng.NormFloat64()
+	}
+	hf, err := NewHornerField(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][2]float64{{0.2, 0.3}, {0.5, 0.25}, {0.1, 0.8}, {1.0 / 3, 1.0 / 3}}
+	if worst := hf.Validate(f, pts, 0); worst > 1e-12 {
+		t.Fatalf("healthy collapse validates to %v", worst)
+	}
+	hf.Coeffs[0] += 0.5
+	if worst := hf.Validate(f, pts, 0); worst < 0.1 {
+		t.Fatalf("corrupted collapse validates to %v, expected >= 0.1", worst)
+	}
+}
+
+// MonomialCoeffs is memoised per degree: repeated calls must return the
+// same backing matrix.
+func TestMonomialCoeffsCached(t *testing.T) {
+	b := NewBasis(4)
+	a1, err := b.MonomialCoeffs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewBasis(4).MonomialCoeffs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a1[0][0] != &a2[0][0] {
+		t.Fatal("MonomialCoeffs not cached across Basis instances")
+	}
+}

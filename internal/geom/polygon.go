@@ -151,41 +151,66 @@ func (c *Clipper) ClipTriangleBox(t Triangle, b AABB) Polygon {
 	}
 	t = t.CCW()
 	c.out = append(c.out[:0], t.A, t.B, t.C)
-
-	clipAxis := func(get func(Point) float64, limit float64, keepGE bool) {
-		if len(c.out) == 0 {
-			return
-		}
-		c.in = append(c.in[:0], c.out...)
-		c.out = c.out[:0]
-		s := c.in[len(c.in)-1]
-		sv := get(s)
-		sIn := (sv >= limit) == keepGE || sv == limit
-		for _, p := range c.in {
-			pv := get(p)
-			pIn := (pv >= limit) == keepGE || pv == limit
-			if pIn != sIn {
-				// Interpolate the crossing on this axis.
-				tt := (limit - sv) / (pv - sv)
-				c.out = append(c.out, Point{
-					s.X + tt*(p.X-s.X),
-					s.Y + tt*(p.Y-s.Y),
-				})
-			}
-			if pIn {
-				c.out = append(c.out, p)
-			}
-			s, sv, sIn = p, pv, pIn
-		}
-	}
-
-	getX := func(p Point) float64 { return p.X }
-	getY := func(p Point) float64 { return p.Y }
-	clipAxis(getX, b.Min.X, true)  // keep x >= min
-	clipAxis(getX, b.Max.X, false) // keep x <= max
-	clipAxis(getY, b.Min.Y, true)  // keep y >= min
-	clipAxis(getY, b.Max.Y, false) // keep y <= max
+	c.clipX(b.Min.X, true)  // keep x >= min
+	c.clipX(b.Max.X, false) // keep x <= max
+	c.clipY(b.Min.Y, true)  // keep y >= min
+	c.clipY(b.Max.Y, false) // keep y <= max
 	return c.out
+}
+
+// clipX and clipY are the specialised half-plane passes of ClipTriangleBox:
+// the coordinate access is direct (no accessor indirection) and the pass
+// ping-pongs the two scratch buffers instead of copying between them.
+
+func (c *Clipper) clipX(limit float64, keepGE bool) {
+	if len(c.out) == 0 {
+		return
+	}
+	c.in, c.out = c.out, c.in[:0]
+	s := c.in[len(c.in)-1]
+	sv := s.X
+	sIn := (sv >= limit) == keepGE || sv == limit
+	for _, p := range c.in {
+		pv := p.X
+		pIn := (pv >= limit) == keepGE || pv == limit
+		if pIn != sIn {
+			// Interpolate the crossing on this axis.
+			tt := (limit - sv) / (pv - sv)
+			c.out = append(c.out, Point{
+				s.X + tt*(p.X-s.X),
+				s.Y + tt*(p.Y-s.Y),
+			})
+		}
+		if pIn {
+			c.out = append(c.out, p)
+		}
+		s, sv, sIn = p, pv, pIn
+	}
+}
+
+func (c *Clipper) clipY(limit float64, keepGE bool) {
+	if len(c.out) == 0 {
+		return
+	}
+	c.in, c.out = c.out, c.in[:0]
+	s := c.in[len(c.in)-1]
+	sv := s.Y
+	sIn := (sv >= limit) == keepGE || sv == limit
+	for _, p := range c.in {
+		pv := p.Y
+		pIn := (pv >= limit) == keepGE || pv == limit
+		if pIn != sIn {
+			tt := (limit - sv) / (pv - sv)
+			c.out = append(c.out, Point{
+				s.X + tt*(p.X-s.X),
+				s.Y + tt*(p.Y-s.Y),
+			})
+		}
+		if pIn {
+			c.out = append(c.out, p)
+		}
+		s, sv, sIn = p, pv, pIn
+	}
 }
 
 // SplitFan triangulates the convex polygon p into len(p)-2 triangles fanned

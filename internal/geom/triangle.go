@@ -140,14 +140,39 @@ func (t Triangle) MapReference(r, s float64) Point {
 // InverseMap maps a physical point p to reference coordinates (r, s) such
 // that t.MapReference(r, s) == p. The triangle must be non-degenerate.
 func (t Triangle) InverseMap(p Point) (r, s float64) {
+	return t.AffineInverse().Map(p)
+}
+
+// AffineInverse holds the precomputed coefficients of InverseMap: the
+// Jacobian entries and reciprocal determinant of the affine reference map.
+// Hot loops that invert many points against the same triangle compute this
+// once and call Map per point, replacing the per-point determinant division
+// with a multiplication.
+type AffineInverse struct {
+	X0, Y0         float64 // vertex A
+	Xr, Xs, Yr, Ys float64 // Jacobian [B−A | C−A]
+	InvDet         float64
+}
+
+// AffineInverse precomputes the inverse reference map of t. The triangle
+// must be non-degenerate.
+func (t Triangle) AffineInverse() AffineInverse {
 	xr := t.B.X - t.A.X
 	xs := t.C.X - t.A.X
 	yr := t.B.Y - t.A.Y
 	ys := t.C.Y - t.A.Y
-	det := xr*ys - xs*yr
-	dx := p.X - t.A.X
-	dy := p.Y - t.A.Y
-	r = (dx*ys - dy*xs) / det
-	s = (dy*xr - dx*yr) / det
+	return AffineInverse{
+		X0: t.A.X, Y0: t.A.Y,
+		Xr: xr, Xs: xs, Yr: yr, Ys: ys,
+		InvDet: 1 / (xr*ys - xs*yr),
+	}
+}
+
+// Map maps a physical point p to reference coordinates (r, s).
+func (ai AffineInverse) Map(p Point) (r, s float64) {
+	dx := p.X - ai.X0
+	dy := p.Y - ai.Y0
+	r = (dx*ai.Ys - dy*ai.Xs) * ai.InvDet
+	s = (dy*ai.Xr - dx*ai.Yr) * ai.InvDet
 	return
 }
