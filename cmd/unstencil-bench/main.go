@@ -7,17 +7,21 @@
 //
 //	unstencil-bench -label after -out BENCH_PR3.json
 //	unstencil-bench -out BENCH_PR3.json -compare before,after
+//	unstencil-bench -scaling -scaling-out BENCH_PR4.json
 //
 // Each invocation merges its results into the output file under -label,
 // preserving runs recorded under other labels; -compare prints a
 // benchstat-like base-vs-head table from the stored runs without
-// re-benchmarking.
+// re-benchmarking. -scaling runs the strong-scaling sweep instead: every
+// scheme at every worker count, recording wall-clock and modeled speedups
+// plus the bit-identity check against the serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"unstencil/internal/bench"
@@ -25,17 +29,49 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_PR3.json", "trajectory file to merge results into")
-		label     = flag.String("label", "head", "label to record this run under (e.g. before, after)")
-		size      = flag.Int("size", 0, "override benchmark mesh size (0 = suite default)")
-		compare   = flag.String("compare", "", "compare two stored labels, e.g. before,after (skips benchmarking)")
-		threshold = flag.Float64("warn-below", 0, "with -compare: exit 1 when geomean speedup falls below this")
+		out            = flag.String("out", "BENCH_PR3.json", "trajectory file to merge results into")
+		label          = flag.String("label", "head", "label to record this run under (e.g. before, after)")
+		size           = flag.Int("size", 0, "override benchmark mesh size (0 = suite default)")
+		workers        = flag.Int("workers", 0, "override evaluation worker count (0 = GOMAXPROCS)")
+		compare        = flag.String("compare", "", "compare two stored labels, e.g. before,after (skips benchmarking)")
+		threshold      = flag.Float64("warn-below", 0, "with -compare: exit 1 when geomean speedup falls below this")
+		scaling        = flag.Bool("scaling", false, "run the strong-scaling sweep instead of the hot-path suite")
+		scalingOut     = flag.String("scaling-out", "BENCH_PR4.json", "with -scaling: report file to write")
+		scalingWorkers = flag.String("scaling-workers", "", "with -scaling: comma-separated worker sweep, e.g. 1,2,4,8")
 	)
 	flag.Parse()
+
+	if *scaling {
+		scfg := bench.DefaultScalingConfig()
+		if *size > 0 {
+			scfg.Size = *size
+		}
+		if *scalingWorkers != "" {
+			ws, err := parseWorkerList(*scalingWorkers)
+			if err != nil {
+				fatal(err)
+			}
+			scfg.Workers = ws
+		}
+		fmt.Fprintf(os.Stderr, "running strong-scaling sweep (size=%d, workers=%v)...\n", scfg.Size, scfg.Workers)
+		rep, err := bench.RunScaling(scfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Save(*scalingOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *scalingOut)
+		return
+	}
 
 	cfg := bench.DefaultHotPathConfig()
 	if *size > 0 {
 		cfg.Size = *size
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 
 	rep, err := bench.LoadHotPathReport(*out, cfg)
@@ -73,6 +109,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func parseWorkerList(s string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scaling-workers entry %q", part)
+		}
+		ws = append(ws, n)
+	}
+	return ws, nil
 }
 
 func fatal(err error) {

@@ -30,6 +30,18 @@ type HotPathConfig struct {
 	// OneSidedN is the structured-mesh resolution of the one-sided sweep
 	// (kernel-construction bound, so it stays small).
 	OneSidedN int
+	// Workers bounds the evaluators' execution concurrency; 0 follows
+	// GOMAXPROCS. The effective value is recorded per result, so trajectory
+	// files from hosts with different core counts compare honestly.
+	Workers int `json:"workers,omitempty"`
+}
+
+// EffectiveWorkers resolves the configured worker count against GOMAXPROCS.
+func (c HotPathConfig) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultHotPathConfig returns the suite configuration used by CI and by
@@ -57,6 +69,10 @@ type HotPathResult struct {
 	// ModelGFLOPs is modeled FLOPs / wall-clock in GFLOP/s for scheme
 	// runs; 0 for micro cases without a counter model.
 	ModelGFLOPs float64 `json:"model_gflops,omitempty"`
+	// Workers is the evaluation worker count this case actually ran with.
+	// The seed harness omitted it and always stamped the report's
+	// gomaxprocs, which misrepresented runs forced to other widths.
+	Workers int `json:"workers,omitempty"`
 }
 
 // HotPathReport is the JSON document cmd/unstencil-bench writes: one result
@@ -65,6 +81,7 @@ type HotPathResult struct {
 type HotPathReport struct {
 	GoVersion  string                     `json:"go_version"`
 	GOMAXPROCS int                        `json:"gomaxprocs"`
+	NumCPU     int                        `json:"num_cpu"`
 	Config     HotPathConfig              `json:"config"`
 	Runs       map[string][]HotPathResult `json:"runs"`
 }
@@ -83,7 +100,7 @@ func RunHotPath(cfg HotPathConfig) ([]HotPathResult, error) {
 	}
 	for _, p := range cfg.Orders {
 		f := dg.Project(m, p, testField, 2)
-		ev, err := core.NewEvaluator(f, core.Options{P: p, GridDegree: -1})
+		ev, err := core.NewEvaluator(f, core.Options{P: p, GridDegree: -1, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -119,12 +136,12 @@ func RunHotPath(cfg HotPathConfig) ([]HotPathResult, error) {
 	fb := dg.Project(m, 1, testField, 2)
 	out = append(out, runCase(fmt.Sprintf("new-evaluator/%s/P1", sizeLabel(cfg.Size)), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.NewEvaluator(fb, core.Options{P: 1, GridDegree: -1}); err != nil {
+			if _, err := core.NewEvaluator(fb, core.Options{P: 1, GridDegree: -1, Workers: cfg.Workers}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}))
-	evb, err := core.NewEvaluator(fb, core.Options{P: 1, GridDegree: -1})
+	evb, err := core.NewEvaluator(fb, core.Options{P: 1, GridDegree: -1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +165,7 @@ func RunHotPath(cfg HotPathConfig) ([]HotPathResult, error) {
 	// dominates without a cache; this is the case the kernel cache targets.
 	ms := mesh.Structured(cfg.OneSidedN)
 	fs := dg.Project(ms, 1, testField, 2)
-	evs, err := core.NewEvaluator(fs, core.Options{P: 1, Boundary: core.OneSided})
+	evs, err := core.NewEvaluator(fs, core.Options{P: 1, Boundary: core.OneSided, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +182,9 @@ func RunHotPath(cfg HotPathConfig) ([]HotPathResult, error) {
 	r.ModelGFLOPs = gflops(flops, r.NsPerOp)
 	out = append(out, r)
 
+	for i := range out {
+		out[i].Workers = cfg.EffectiveWorkers()
+	}
 	return out, nil
 }
 
@@ -220,6 +240,7 @@ func LoadHotPathReport(path string, cfg HotPathConfig) (*HotPathReport, error) {
 	rep := &HotPathReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Config:     cfg,
 		Runs:       map[string][]HotPathResult{},
 	}
@@ -239,6 +260,7 @@ func LoadHotPathReport(path string, cfg HotPathConfig) (*HotPathReport, error) {
 	// Environment metadata always reflects the latest writer.
 	rep.GoVersion = runtime.Version()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
 	rep.Config = cfg
 	return rep, nil
 }

@@ -187,6 +187,11 @@ type Evaluator struct {
 
 	// scratch is the lazily created worker used by EvalAt.
 	scratch *worker
+
+	// wkPool recycles per-goroutine scratch workers across runs, colour
+	// waves and batch queries (see getWorker); a worker's buffers grow to
+	// steady state once and are reused instead of reallocated.
+	wkPool sync.Pool
 }
 
 // UsesHornerFields reports whether the evaluator's hot path runs on the

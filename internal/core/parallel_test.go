@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func parallelTestField(p geom.Point) float64 {
+	return math.Sin(2*math.Pi*p.X) * math.Cos(2*math.Pi*p.Y)
+}
+
+// parallelTestPositions returns a deterministic spread of query positions
+// well inside the unit domain.
+func parallelTestPositions(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	x, y := 0.0, 0.0
+	for i := range pts {
+		// Low-discrepancy-ish lattice: golden-ratio rotations.
+		x = math.Mod(x+0.6180339887498949, 1)
+		y = math.Mod(y+0.7548776662466927, 1)
+		pts[i] = geom.Pt(0.05+0.9*x, 0.05+0.9*y)
+	}
+	return pts
+}
+
+// TestEvalBatchMatchesEvalAt pins EvalBatch's contract: values bit-identical
+// to a sequential EvalAt sweep, and returned counters equal to the sum the
+// sequential sweep accumulates.
+func TestEvalBatchMatchesEvalAt(t *testing.T) {
+	m := mesh.Structured(8)
+	ev := buildEvaluator(t, m, 2, parallelTestField, Options{Workers: 4})
+	pts := parallelTestPositions(57)
+
+	got, counters, err := ev.EvalBatch(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("EvalBatch returned %d values for %d positions", len(got), len(pts))
+	}
+
+	// Independent evaluator for the sequential sweep; its scratch worker
+	// accumulates counters across calls, giving the sequential sum.
+	ref := buildEvaluator(t, m, 2, parallelTestField, Options{Workers: 1})
+	for i, pos := range pts {
+		want, err := ref.EvalAt(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("position %d: EvalBatch %v != EvalAt %v (diff %g)",
+				i, got[i], want, got[i]-want)
+		}
+	}
+	if counters != ref.scratch.counters {
+		t.Errorf("EvalBatch counters = %+v, want sequential sum %+v",
+			counters, ref.scratch.counters)
+	}
+	if counters.IntersectionTests == 0 || counters.Regions == 0 {
+		t.Errorf("EvalBatch counters implausibly empty: %+v", counters)
+	}
+}
+
+// TestEvalBatchWorkerSweep checks the batch is schedule-independent: any
+// worker count gives bit-identical values and counters.
+func TestEvalBatchWorkerSweep(t *testing.T) {
+	ev := buildEvaluator(t, mesh.Structured(6), 1, parallelTestField, Options{Workers: 1})
+	pts := parallelTestPositions(23)
+	base, baseCtr, err := ev.EvalBatch(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 64} {
+		got, ctr, err := ev.EvalBatch(pts, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Errorf("workers=%d position %d: %v != %v", w, i, got[i], base[i])
+			}
+		}
+		if ctr != baseCtr {
+			t.Errorf("workers=%d counters %+v != workers=1 %+v", w, ctr, baseCtr)
+		}
+	}
+}
+
+// TestEvalBatchEmpty covers the trivial input.
+func TestEvalBatchEmpty(t *testing.T) {
+	ev := buildEvaluator(t, mesh.Structured(4), 1, parallelTestField, Options{Workers: 2})
+	out, ctr, err := ev.EvalBatch(nil, 4)
+	if err != nil || len(out) != 0 || ctr.IntersectionTests != 0 {
+		t.Errorf("EvalBatch(nil) = (%v, %+v, %v), want empty", out, ctr, err)
+	}
+}
+
+// TestParallelRunsBitIdentical is the PR's determinism pin: every scheme's
+// parallel execution must produce solutions bit-identical to the
+// single-worker run, because per-unit outputs land in disjoint locations and
+// within-unit summation order is fixed. Runs under -race in CI with
+// workers=2.
+func TestParallelRunsBitIdentical(t *testing.T) {
+	m := mesh.Structured(10)
+	ev := buildEvaluator(t, m, 2, parallelTestField, Options{Workers: 1})
+	tl := ev.NewTiling(8)
+
+	serialPoint, err := ev.RunPerPoint(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialElem, err := ev.RunPerElement(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPipe, err := ev.RunPerElementPipelined(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4} {
+		ev.Opt.Workers = workers
+		for _, tc := range []struct {
+			name   string
+			serial *Result
+			run    func() (*Result, error)
+		}{
+			{"per-point", serialPoint, func() (*Result, error) { return ev.RunPerPoint(8) }},
+			{"per-element", serialElem, func() (*Result, error) { return ev.RunPerElement(tl) }},
+			{"pipelined", serialPipe, func() (*Result, error) { return ev.RunPerElementPipelined(tl) }},
+		} {
+			res, err := tc.run()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			for i := range res.Solution {
+				if res.Solution[i] != tc.serial.Solution[i] {
+					t.Fatalf("%s workers=%d: solution[%d] = %v, serial %v (diff %g)",
+						tc.name, workers, i, res.Solution[i], tc.serial.Solution[i],
+						res.Solution[i]-tc.serial.Solution[i])
+				}
+			}
+			if res.Total != tc.serial.Total {
+				t.Errorf("%s workers=%d: total counters %+v != serial %+v",
+					tc.name, workers, res.Total, tc.serial.Total)
+			}
+		}
+	}
+}
+
+// TestPipelinedAllocs guards the pipelined executor's allocation churn: with
+// a warm evaluator and tiling, a run may allocate the Result (solution +
+// per-block counters), the wave buckets, and the dispatch goroutines — but
+// not fresh scratch workers per colour wave, which is what the worker pool
+// exists to prevent. The bound is deliberately loose (goroutine spawns and
+// map-based colouring bookkeeping vary) yet far below the cost of one
+// worker's basis/clipper scratch per wave.
+func TestPipelinedAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting under -short")
+	}
+	ev := buildEvaluator(t, mesh.Structured(8), 1, parallelTestField, Options{Workers: 2})
+	tl := ev.NewTiling(6)
+	// Warm: colouring memoised, worker pool populated.
+	if _, err := ev.RunPerElementPipelined(tl); err != nil {
+		t.Fatal(err)
+	}
+	colors := tl.Colors()
+	numColors := 0
+	for _, c := range colors {
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ev.RunPerElementPipelined(tl); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: result + solution + blocks + wave buckets + per-wave dispatch
+	// (waitgroup-driven goroutines, 2 workers each).
+	budget := float64(16 + numColors*8)
+	if allocs > budget {
+		t.Errorf("pipelined run allocated %.0f objects, budget %.0f (numColors=%d)",
+			allocs, budget, numColors)
+	}
+}

@@ -211,7 +211,10 @@ func (fs *failureSet) sorted() []int {
 // capped exponential backoff, and — when rs.AllowPartial — blocks that
 // exhaust their retries are zeroed and reported in Result.Coverage instead
 // of failing the run. Blocks write disjoint strided slices of the solution,
-// so a failed or retried block never corrupts its neighbours.
+// so a failed or retried block never corrupts its neighbours, and any
+// worker may execute any block: blocks are uniform units, so they are
+// dispatched off a shared atomic counter (runDynamic) rather than the
+// seed's static stride, keeping every worker busy until the last block.
 func (ev *Evaluator) RunPerPointResilientCtx(ctx context.Context, nBlocks int, rs *Resilience) (*Result, error) {
 	if nBlocks < 1 {
 		nBlocks = 1
@@ -226,50 +229,45 @@ func (ev *Evaluator) RunPerPointResilientCtx(ctx context.Context, nBlocks int, r
 	start := time.Now()
 	var ec errCollector
 	var fs failureSet
-	var wg sync.WaitGroup
 	workers := min(ev.Opt.Workers, nBlocks)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wk := ev.newWorker()
-			for b := w; b < nBlocks; b += workers {
-				err := rs.runUnit(ctx, PerPoint, b, func() error {
-					wk.counters.Reset()
-					if err := fault.Inject(SitePointBlock); err != nil {
-						return err
-					}
-					for p := b; p < len(ev.Points); p += nBlocks {
-						if err := ctx.Err(); err != nil {
-							return err
-						}
-						v, err := ev.evalPoint(int32(p), wk)
-						if err != nil {
-							return err
-						}
-						res.Solution[p] = v
-					}
-					return nil
-				})
-				if err == nil {
-					res.Blocks[b] = wk.counters
-					continue
-				}
-				if !Transient(err) || !rs.AllowPartial {
-					ec.set(err)
-					return
-				}
-				// Degrade: this block's strided points are zeroed (an
-				// aborted attempt may have written a partial prefix) and the
-				// block is reported as uncovered.
-				for p := b; p < len(ev.Points); p += nBlocks {
-					res.Solution[p] = 0
-				}
-				fs.add(b, rs.Faults)
+	wks := ev.getWorkers(max(workers, 1))
+	runDynamic(workers, nBlocks, func(w, b int) bool {
+		wk := wks[w]
+		err := rs.runUnit(ctx, PerPoint, b, func() error {
+			wk.counters.Reset()
+			if err := fault.Inject(SitePointBlock); err != nil {
+				return err
 			}
-		}(w)
-	}
-	wg.Wait()
+			for p := b; p < len(ev.Points); p += nBlocks {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				v, err := ev.evalPoint(int32(p), wk)
+				if err != nil {
+					return err
+				}
+				res.Solution[p] = v
+			}
+			return nil
+		})
+		if err == nil {
+			res.Blocks[b] = wk.counters
+			return true
+		}
+		if !Transient(err) || !rs.AllowPartial {
+			ec.set(err)
+			return false
+		}
+		// Degrade: this block's strided points are zeroed (an aborted
+		// attempt may have written a partial prefix) and the block is
+		// reported as uncovered.
+		for p := b; p < len(ev.Points); p += nBlocks {
+			res.Solution[p] = 0
+		}
+		fs.add(b, rs.Faults)
+		return true
+	})
+	ev.putWorkers(wks)
 	if ec.err != nil {
 		return nil, ec.err
 	}
@@ -322,70 +320,73 @@ func (ev *Evaluator) RunPerElementResilientCtx(ctx context.Context, t *tile.Tili
 	start := time.Now()
 	var ec errCollector
 	var fs failureSet
-	var wg sync.WaitGroup
 	workers := min(ev.Opt.Workers, t.K)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wk := ev.newWorker()
-			for p := w; p < t.K; p += workers {
-				buf := bufs[p]
-				err := rs.runUnit(ctx, PerElement, p, func() error {
-					// A fresh attempt starts from a clean scratch-pad; the
-					// disjoint write set makes this reset local to the tile.
-					clear(buf)
-					wk.counters.Reset()
-					if err := fault.Inject(SiteTile); err != nil {
-						return err
+	wks := ev.getWorkers(max(workers, 1))
+	// Patches are high-variance units (graded meshes concentrate candidate
+	// pairs in a few patches), so they run on work-stealing deques seeded
+	// with the paper's stride: a worker drains its own run of patches in
+	// order and steals from a neighbour's tail only when idle. A stolen
+	// patch still executes exactly once against its own scratch-pad, so the
+	// schedule never reaches the numbers.
+	runStealing(strideSeed(t.K, workers), func(w, p int) bool {
+		wk := wks[w]
+		buf := bufs[p]
+		err := rs.runUnit(ctx, PerElement, p, func() error {
+			// A fresh attempt starts from a clean scratch-pad; the
+			// disjoint write set makes this reset local to the tile.
+			clear(buf)
+			wk.counters.Reset()
+			if err := fault.Inject(SiteTile); err != nil {
+				return err
+			}
+			for _, e := range t.PatchElems[p] {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				var slotErr error
+				err := ev.processElement(e, wk, func(pt int32, v float64) {
+					sl := t.Slot(p, pt)
+					if sl < 0 {
+						slotErr = fmt.Errorf("core: patch %d received partial for unmarked point %d", p, pt)
+						return
 					}
-					for _, e := range t.PatchElems[p] {
-						if err := ctx.Err(); err != nil {
-							return err
-						}
-						var slotErr error
-						err := ev.processElement(e, wk, func(pt int32, v float64) {
-							sl := t.Slot(p, pt)
-							if sl < 0 {
-								slotErr = fmt.Errorf("core: patch %d received partial for unmarked point %d", p, pt)
-								return
-							}
-							buf[sl] += v
-						})
-						if err == nil {
-							err = slotErr
-						}
-						if err != nil {
-							return err
-						}
-					}
-					return nil
+					buf[sl] += v
 				})
 				if err == nil {
-					res.Blocks[p] = wk.counters
-					continue
+					err = slotErr
 				}
-				if !Transient(err) || !rs.AllowPartial {
-					ec.set(err)
-					return
+				if err != nil {
+					return err
 				}
-				clear(buf) // drop the tile: zero contribution, never garbage
-				fs.add(p, rs.Faults)
 			}
-		}(w)
-	}
-	wg.Wait()
+			return nil
+		})
+		if err == nil {
+			res.Blocks[p] = wk.counters
+			return true
+		}
+		if !Transient(err) || !rs.AllowPartial {
+			ec.set(err)
+			return false
+		}
+		clear(buf) // drop the tile: zero contribution, never garbage
+		fs.add(p, rs.Faults)
+		return true
+	})
+	ev.putWorkers(wks)
 	if ec.err != nil {
 		return nil, ec.err
 	}
 	// Reduction stage, panic-isolated and retryable: the scratch-pads are
 	// read-only inputs here and the output is overwritten from scratch, so
-	// a second attempt after a recovered panic is sound.
+	// a second attempt after a recovered panic is sound. The two-stage
+	// parallel reduction fans owned-point gathers across the same worker
+	// budget, bit-identically to the sequential tile.Reduce.
 	if err := rs.runUnit(ctx, PerElement, -1, func() error {
 		if err := fault.Inject(SiteReduce); err != nil {
 			return err
 		}
-		t.Reduce(bufs, res.Solution)
+		t.ReduceParallel(bufs, res.Solution, workers)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -282,8 +282,8 @@ func (ev *Evaluator) Reference() ([]float64, error) {
 // gather. This is the entry point for applications such as streamline
 // integration through discontinuous fields (Steffen et al. 2008; Walfisch
 // et al. 2009), where query positions are produced on the fly by an ODE
-// integrator. Not safe for concurrent use with itself; create one Evaluator
-// per goroutine or synchronise externally.
+// integrator. Not safe for concurrent use with itself; use EvalBatch for
+// concurrent or bulk queries, or create one Evaluator per goroutine.
 func (ev *Evaluator) EvalAt(pos geom.Point) (float64, error) {
 	if ev.scratch == nil {
 		ev.scratch = ev.newWorker()
@@ -358,6 +358,12 @@ func (ev *Evaluator) RunPerElementPipelinedCtx(ctx context.Context, t *tile.Tili
 		MemoryOverhead: 1,
 		Scheme:         PerElement,
 	}
+	// Colour waves are bucketed in one pass over the colouring (the seed
+	// version re-scanned all patches once per colour, allocating a fresh
+	// wave slice each time), and the scratch workers are acquired from the
+	// evaluator's pool once for the whole run instead of reallocated per
+	// colour — the pipelined executor's allocation count is guarded by
+	// TestPipelinedAllocs.
 	colors := t.Colors()
 	numColors := 0
 	for _, c := range colors {
@@ -365,58 +371,64 @@ func (ev *Evaluator) RunPerElementPipelinedCtx(ctx context.Context, t *tile.Tili
 			numColors = c + 1
 		}
 	}
+	waves := make([][]int, numColors)
+	counts := make([]int, numColors)
+	for _, c := range colors {
+		counts[c]++
+	}
+	for c, n := range counts {
+		waves[c] = make([]int, 0, n)
+	}
+	for p, c := range colors {
+		waves[c] = append(waves[c], p)
+	}
 	start := time.Now()
 	var ec errCollector
-	for c := 0; c < numColors; c++ {
-		var wave []int
-		for p, pc := range colors {
-			if pc == c {
-				wave = append(wave, p)
-			}
-		}
-		var wg sync.WaitGroup
-		workers := min(ev.Opt.Workers, len(wave))
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				wk := ev.newWorker()
-				for i := w; i < len(wave); i += workers {
-					p := wave[i]
-					// Panic-isolated: a dying patch fails the run with a
-					// typed error instead of killing the process. No retry
-					// here — pipelined patches write the shared solution in
-					// place, so an aborted attempt cannot be replayed.
-					err := safeCall(PerElement, p, nil, func() error {
-						for _, e := range t.PatchElems[p] {
-							if err := ctx.Err(); err != nil {
-								return err
-							}
-							err := ev.processElement(e, wk, func(pt int32, v float64) {
-								// In-place accumulation: safe because same-colour
-								// patches have disjoint influence regions.
-								res.Solution[pt] += v
-							})
-							if err != nil {
-								return err
-							}
-						}
-						return nil
+	wks := ev.getWorkers(max(min(ev.Opt.Workers, t.K), 1))
+	for _, wave := range waves {
+		// Within a wave, patches are dispatched off a shared atomic counter:
+		// the barrier between waves is the synchronisation cost the paper
+		// charges this variant, so the wave itself should at least fill all
+		// workers until its last patch.
+		runDynamic(min(len(wks), len(wave)), len(wave), func(w, i int) bool {
+			p := wave[i]
+			wk := wks[w]
+			// Panic-isolated: a dying patch fails the run with a
+			// typed error instead of killing the process. No retry
+			// here — pipelined patches write the shared solution in
+			// place, so an aborted attempt cannot be replayed.
+			err := safeCall(PerElement, p, nil, func() error {
+				for _, e := range t.PatchElems[p] {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					err := ev.processElement(e, wk, func(pt int32, v float64) {
+						// In-place accumulation: safe because same-colour
+						// patches have disjoint influence regions.
+						res.Solution[pt] += v
 					})
 					if err != nil {
-						ec.set(err)
-						return
+						return err
 					}
-					res.Blocks[p].Add(&wk.counters)
-					wk.counters.Reset()
 				}
-			}(w)
-		}
-		wg.Wait() // barrier between colour waves
+				return nil
+			})
+			if err != nil {
+				ec.set(err)
+				return false
+			}
+			res.Blocks[p].Add(&wk.counters)
+			wk.counters.Reset()
+			return true
+		})
+		// Barrier between colour waves: runDynamic returns only once the
+		// wave's in-flight patches have finished.
 		if ec.err != nil {
+			ev.putWorkers(wks)
 			return nil, ec.err
 		}
 	}
+	ev.putWorkers(wks)
 	res.Wall = time.Since(start)
 	for i := range res.Blocks {
 		res.Total.Add(&res.Blocks[i])

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunDynamicRunsEveryUnitOnce dispatches n units over varying worker
+// counts and checks each unit executes exactly once, including the inline
+// workers<=1 path and workers > n clamping.
+func TestRunDynamicRunsEveryUnitOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 17}, {2, 17}, {4, 17}, {8, 3}, {3, 0}, {4, 1},
+	} {
+		ran := make([]atomic.Int64, max(tc.n, 1))
+		runDynamic(tc.workers, tc.n, func(w, u int) bool {
+			ran[u].Add(1)
+			return true
+		})
+		for u := 0; u < tc.n; u++ {
+			if got := ran[u].Load(); got != 1 {
+				t.Errorf("workers=%d n=%d: unit %d ran %d times, want 1",
+					tc.workers, tc.n, u, got)
+			}
+		}
+	}
+}
+
+// TestRunDynamicAbort checks that a false return stops the dispatch: with a
+// single inline worker, units after the failing one must not run.
+func TestRunDynamicAbort(t *testing.T) {
+	var ran int
+	runDynamic(1, 10, func(w, u int) bool {
+		ran++
+		return u != 3
+	})
+	if ran != 4 {
+		t.Errorf("inline abort at unit 3: ran %d units, want 4", ran)
+	}
+	// Parallel: the abort flag stops workers from claiming more units. We
+	// can only assert no unit runs twice and the call terminates.
+	seen := make([]atomic.Int64, 100)
+	runDynamic(4, 100, func(w, u int) bool {
+		seen[u].Add(1)
+		return u < 10
+	})
+	for u := range seen {
+		if got := seen[u].Load(); got > 1 {
+			t.Errorf("unit %d ran %d times after abort, want <= 1", u, got)
+		}
+	}
+}
+
+// TestStrideSeed checks the seed reproduces the paper's strided assignment
+// and covers every unit exactly once.
+func TestStrideSeed(t *testing.T) {
+	seed := strideSeed(10, 3)
+	if len(seed) != 3 {
+		t.Fatalf("len(seed) = %d, want 3", len(seed))
+	}
+	seen := make(map[int]int)
+	for w, units := range seed {
+		for _, u := range units {
+			if u%3 != w {
+				t.Errorf("unit %d seeded to worker %d, want worker %d", u, w, u%3)
+			}
+			seen[u]++
+		}
+	}
+	for u := 0; u < 10; u++ {
+		if seen[u] != 1 {
+			t.Errorf("unit %d seeded %d times, want 1", u, seen[u])
+		}
+	}
+	// More workers than units clamps.
+	if got := len(strideSeed(2, 8)); got != 2 {
+		t.Errorf("strideSeed(2, 8) made %d deques, want 2", got)
+	}
+}
+
+// TestRunStealingAdversarialImbalance is the fairness/termination test for
+// the work-stealing dispatcher under the race detector. Every unit is seeded
+// to worker 0 — the most imbalanced schedule possible — and worker 0 blocks
+// on the first unit it claims until all other units have finished. Worker 0
+// cannot help, so the other workers MUST steal the stranded units for the
+// dispatch to terminate at all; the test then checks every unit ran exactly
+// once and that the thieves did essentially all the work.
+func TestRunStealingAdversarialImbalance(t *testing.T) {
+	const n, workers = 32, 4
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	seed := make([][]int, workers)
+	seed[0] = all
+	for w := 1; w < workers; w++ {
+		seed[w] = nil
+	}
+
+	// Worker 0 blocks on whichever unit it claims first; the gate opens once
+	// the thieves have executed n-1 units (everything except the one worker 0
+	// is holding — or, if the thieves outran worker 0 entirely, all but one).
+	var remaining atomic.Int64
+	remaining.Store(n - 1)
+	gate := make(chan struct{})
+	ran := make([]atomic.Int64, n)
+	var byOwner, byThieves atomic.Int64
+
+	runStealing(seed, func(w, u int) bool {
+		ran[u].Add(1)
+		if w == 0 {
+			byOwner.Add(1)
+			<-gate
+			return true
+		}
+		byThieves.Add(1)
+		if remaining.Add(-1) == 0 {
+			close(gate)
+		}
+		return true
+	})
+
+	for u := 0; u < n; u++ {
+		if got := ran[u].Load(); got != 1 {
+			t.Errorf("unit %d ran %d times, want 1", u, got)
+		}
+	}
+	// Worker 0 can claim at most one unit before blocking, and by the time
+	// the gate opens no unclaimed units remain — so the thieves must have
+	// stolen at least n-1 of the units seeded to worker 0.
+	if o := byOwner.Load(); o > 1 {
+		t.Errorf("blocked owner executed %d units, want <= 1", o)
+	}
+	if s := byThieves.Load(); s < n-1 {
+		t.Errorf("thieves executed %d of %d stranded units, want >= %d", s, n, n-1)
+	}
+}
+
+// TestRunStealingSingleWorker covers the inline path and in-order draining.
+func TestRunStealingSingleWorker(t *testing.T) {
+	var order []int
+	runStealing([][]int{{4, 2, 7}}, func(w, u int) bool {
+		order = append(order, u)
+		return true
+	})
+	if len(order) != 3 || order[0] != 4 || order[1] != 2 || order[2] != 7 {
+		t.Errorf("single worker ran %v, want seeded order [4 2 7]", order)
+	}
+	// Abort drops the rest.
+	order = order[:0]
+	runStealing([][]int{{1, 2, 3}}, func(w, u int) bool {
+		order = append(order, u)
+		return false
+	})
+	if len(order) != 1 {
+		t.Errorf("abort after first unit: ran %v", order)
+	}
+}
+
+// TestRunStealingNoDoubleClaim hammers the deques with many tiny units to
+// give the race detector claim/steal interleavings to chew on.
+func TestRunStealingNoDoubleClaim(t *testing.T) {
+	const n, workers = 512, 8
+	ran := make([]atomic.Int64, n)
+	var mu sync.Mutex
+	perWorker := make(map[int]int)
+	runStealing(strideSeed(n, workers), func(w, u int) bool {
+		ran[u].Add(1)
+		mu.Lock()
+		perWorker[w]++
+		mu.Unlock()
+		return true
+	})
+	total := 0
+	for u := 0; u < n; u++ {
+		if got := ran[u].Load(); got != 1 {
+			t.Fatalf("unit %d ran %d times, want 1", u, got)
+		}
+		total++
+	}
+	sum := 0
+	for _, c := range perWorker {
+		sum += c
+	}
+	if total != n || sum != n {
+		t.Errorf("ran %d units across workers summing %d, want %d", total, sum, n)
+	}
+}

@@ -24,9 +24,9 @@ import (
 //	tiling:<evalKey>/k<K>                           *tile.Tiling
 //
 // All cached artifacts are immutable after construction and safe to share
-// across concurrently running jobs (Evaluator's Run methods allocate
-// per-goroutine workers; EvalAt, which mutates scratch state, is not used
-// by the service).
+// across concurrently running jobs and queries (Evaluator's Run methods and
+// EvalBatch draw per-goroutine workers from a pool; single-shot EvalAt,
+// which mutates shared scratch state, is not used by the service).
 type Artifacts struct {
 	cache *Cache
 	// evalWorkers is stamped into every built Evaluator's Options. It does

@@ -575,6 +575,11 @@ func (m *Manager) Busy() int { return int(m.busy.Load()) }
 // Totals returns cumulative per-scheme counters.
 func (m *Manager) Totals() map[string]metrics.TotalSnapshot { return m.totals.Snapshot() }
 
+// RecordQuery folds one batch query's counters into the cumulative totals
+// under the "batch-query" series, so /debug/metrics reports query traffic
+// alongside scheme runs.
+func (m *Manager) RecordQuery(c *metrics.Counters) { m.totals.Record("batch-query", c) }
+
 // StateCounts tallies retained jobs by state.
 func (m *Manager) StateCounts() map[JobState]int {
 	counts := map[JobState]int{}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"unstencil/internal/geom"
+)
+
+// MaxQueryPoints bounds one batch query. Requests beyond it are rejected
+// with 400 at decode time rather than allowed to monopolise the evaluator.
+const MaxQueryPoints = 1 << 16
+
+// QueryRequest is the body of POST /v1/query: a batch of arbitrary
+// evaluation positions against a resident evaluator. Unlike jobs, queries
+// run synchronously on the request goroutine — the point of the endpoint is
+// to amortise one warm evaluator (kernel tables, hash grids, collapsed
+// Horner fields) across thousands of point evaluations, streamline-style,
+// without a queue round-trip per point.
+type QueryRequest struct {
+	// MeshID references a mesh previously uploaded via POST /v1/meshes.
+	MeshID string `json:"mesh_id"`
+	// P is the dG polynomial order (1..4).
+	P int `json:"p"`
+	// GridDegree selects the evaluator's computation grid; it only matters
+	// for sharing the evaluator with job submissions (same cache key).
+	// 0 means 2P, negative the one-point rule.
+	GridDegree int `json:"grid_degree,omitempty"`
+	// Boundary is "periodic" (default) or "one-sided".
+	Boundary string `json:"boundary,omitempty"`
+	// Field names the analytic input field ("sincos" default).
+	Field string `json:"field,omitempty"`
+	// Points are the query positions, [x, y] pairs.
+	Points [][2]float64 `json:"points"`
+	// Workers bounds this query's evaluation concurrency; 0 means the
+	// server's evaluator worker budget.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (q *QueryRequest) normalize() error {
+	if q.MeshID == "" {
+		return errors.New("mesh_id is required")
+	}
+	if q.P < 1 || q.P > 4 {
+		return fmt.Errorf("p must be in 1..4, got %d", q.P)
+	}
+	if q.GridDegree > MaxGridDegree {
+		return fmt.Errorf("grid_degree must be <= %d, got %d", MaxGridDegree, q.GridDegree)
+	}
+	if q.Boundary == "" {
+		q.Boundary = "periodic"
+	}
+	if _, err := parseBoundary(q.Boundary); err != nil {
+		return err
+	}
+	if q.Field == "" {
+		q.Field = "sincos"
+	}
+	if _, ok := FieldFuncs[q.Field]; !ok {
+		return fmt.Errorf("unknown field %q (have %v)", q.Field, FieldNames())
+	}
+	if len(q.Points) == 0 {
+		return errors.New("points must be non-empty")
+	}
+	if len(q.Points) > MaxQueryPoints {
+		return fmt.Errorf("at most %d points per query, got %d", MaxQueryPoints, len(q.Points))
+	}
+	for i, p := range q.Points {
+		if math.IsNaN(p[0]) || math.IsInf(p[0], 0) || math.IsNaN(p[1]) || math.IsInf(p[1], 0) {
+			return fmt.Errorf("points[%d] is not finite", i)
+		}
+	}
+	if q.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", q.Workers)
+	}
+	return nil
+}
+
+// handleQuery serves POST /v1/query: it resolves the evaluator through the
+// artifact cache (so repeated queries against the same mesh and parameters
+// never rebuild kernel tables or grids) and fans the batch across pooled
+// evaluation workers via core's concurrency-safe EvalBatch.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	m, ok := s.arts.Mesh(req.MeshID)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"mesh %q not resident (upload it via POST /v1/meshes)", req.MeshID)
+		return
+	}
+	boundary, _ := parseBoundary(req.Boundary) // validated by normalize
+	ev, hit, err := s.arts.Evaluator(m, req.MeshID, req.P, req.GridDegree, boundary, req.Field)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = geom.Pt(p[0], p[1])
+	}
+	start := time.Now()
+	vals, counters, err := ev.EvalBatch(pts, req.Workers)
+	if err != nil {
+		// The evaluator and inputs validated; a failure here is a kernel
+		// construction error for a position the boundary mode cannot serve
+		// (e.g. one-sided support wider than the domain).
+		writeError(w, http.StatusUnprocessableEntity, "query evaluation: %v", err)
+		return
+	}
+	wall := time.Since(start)
+	s.mgr.RecordQuery(&counters)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mesh_id":        req.MeshID,
+		"num_points":     len(vals),
+		"values":         vals,
+		"evaluator_warm": hit,
+		"counters":       counters,
+		"wall_ms":        float64(wall) / float64(time.Millisecond),
+	})
+}

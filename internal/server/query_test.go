@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestQueryMatchesEvalAt checks the endpoint end to end: the returned batch
+// values must equal a direct sequential EvalAt sweep on an independently
+// built evaluator, bit for bit.
+func TestQueryMatchesEvalAt(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	m := mesh.Structured(6)
+	id := uploadMesh(t, ts, m)
+
+	pts := [][2]float64{{0.3, 0.4}, {0.51, 0.52}, {0.12, 0.87}, {0.66, 0.31}}
+	body, _ := json.Marshal(map[string]any{
+		"mesh_id": id, "p": 1, "points": pts, "workers": 3,
+	})
+	resp, data := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		NumPoints int       `json:"num_points"`
+		Values    []float64 `json:"values"`
+		Counters  struct {
+			IntersectionTests uint64 `json:"intersection_tests"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v (%s)", err, data)
+	}
+	if out.NumPoints != len(pts) || len(out.Values) != len(pts) {
+		t.Fatalf("got %d values for %d points", len(out.Values), len(pts))
+	}
+	if out.Counters.IntersectionTests == 0 {
+		t.Error("query counters not populated")
+	}
+
+	f := dg.Project(m, 1, FieldFuncs["sincos"], 4)
+	ev, err := core.NewEvaluator(f, core.Options{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		want, err := ev.EvalAt(geom.Pt(p[0], p[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Values[i] != want {
+			t.Errorf("point %d: query %v != EvalAt %v", i, out.Values[i], want)
+		}
+	}
+}
+
+// TestQueryWarmEvaluator checks that a repeated query reports the evaluator
+// served from cache, and that query traffic lands in /debug/metrics totals.
+func TestQueryWarmEvaluator(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := uploadMesh(t, ts, mesh.Structured(4))
+	body := fmt.Sprintf(`{"mesh_id":%q,"p":1,"points":[[0.5,0.5]]}`, id)
+
+	resp, data := postQuery(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: status %d: %s", resp.StatusCode, data)
+	}
+	resp, data = postQuery(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query: status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Warm bool `json:"evaluator_warm"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Warm {
+		t.Error("second query did not hit the warm evaluator")
+	}
+
+	mresp, err := http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metricsOut struct {
+		Schemes map[string]json.RawMessage `json:"schemes"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metricsOut); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := metricsOut.Schemes["batch-query"]; !ok {
+		t.Errorf("metrics missing batch-query totals: %v", metricsOut.Schemes)
+	}
+}
+
+// TestQueryValidation exercises the rejection paths.
+func TestQueryValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := uploadMesh(t, ts, mesh.Structured(4))
+
+	tooMany := make([][]float64, MaxQueryPoints+1)
+	for i := range tooMany {
+		tooMany[i] = []float64{0.5, 0.5}
+	}
+	tooManyJSON, _ := json.Marshal(tooMany)
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"missing mesh", `{"p":1,"points":[[0.5,0.5]]}`, http.StatusBadRequest},
+		{"unknown mesh", `{"mesh_id":"nope","p":1,"points":[[0.5,0.5]]}`, http.StatusNotFound},
+		{"bad p", fmt.Sprintf(`{"mesh_id":%q,"p":9,"points":[[0.5,0.5]]}`, id), http.StatusBadRequest},
+		{"no points", fmt.Sprintf(`{"mesh_id":%q,"p":1,"points":[]}`, id), http.StatusBadRequest},
+		{"bad field", fmt.Sprintf(`{"mesh_id":%q,"p":1,"field":"nope","points":[[0.5,0.5]]}`, id), http.StatusBadRequest},
+		{"non-finite point", fmt.Sprintf(`{"mesh_id":%q,"p":1,"points":[[1e999,0.5]]}`, id), http.StatusBadRequest},
+		{"unknown key", fmt.Sprintf(`{"mesh_id":%q,"p":1,"points":[[0.5,0.5]],"nope":1}`, id), http.StatusBadRequest},
+		{"too many points", fmt.Sprintf(`{"mesh_id":%q,"p":1,"points":%s}`, id, tooManyJSON), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postQuery(t, ts, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Errorf("status %d, want %d: %s", resp.StatusCode, tc.status, bytes.TrimSpace(data))
+			}
+		})
+	}
+}

@@ -341,3 +341,75 @@ func TestUncoveredPoints(t *testing.T) {
 	}()
 	tl.UncoveredPoints([]int{tl.K})
 }
+
+// TestOwnedPartitionsGrid checks the precomputed owned-point lists: together
+// they partition the grid (every point in exactly one list), each list is
+// ascending, and membership agrees with pointElem ownership.
+func TestOwnedPartitionsGrid(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 7, 0.15)
+	tl := New(m, pointElem, 5, mark)
+	seen := make([]int, tl.NumPoints)
+	for p := 0; p < tl.K; p++ {
+		list := tl.OwnedPoints(p)
+		for i, pt := range list {
+			seen[pt]++
+			if i > 0 && list[i-1] >= pt {
+				t.Fatalf("patch %d owned list not ascending at %d: %v >= %v",
+					p, i, list[i-1], pt)
+			}
+			if got := tl.ElemPatch[pointElem[pt]]; got != p {
+				t.Fatalf("point %d in patch %d's owned list but its element is in patch %d",
+					pt, p, got)
+			}
+		}
+	}
+	for pt, n := range seen {
+		if n != 1 {
+			t.Fatalf("point %d appears in %d owned lists, want exactly 1", pt, n)
+		}
+	}
+}
+
+// TestReduceParallelMatches is the property test ReduceParallel's doc
+// comment promises: for any (mesh size, patch count, worker count) the
+// parallel two-stage reduction is bit-identical to the sequential Reduce.
+// Buffers are filled with irregular values (no floats that sum exactly) so
+// any reordering of the additions would show up as a bit difference.
+func TestReduceParallelMatches(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{5, 3}, {7, 6}, {9, 11}} {
+		m, pointElem, mark := testSetup(t, tc.n, 0.2)
+		tl := New(m, pointElem, tc.k, mark)
+		bufs := tl.NewBuffers()
+		for p := range bufs {
+			for i := range bufs[p] {
+				// Deterministic, irregular, sign-alternating values.
+				v := math.Sin(float64(1+p)*12.9898+float64(i)*78.233) * 43758.5453
+				bufs[p][i] = v - math.Floor(v) - 0.5
+			}
+		}
+		want := make([]float64, tl.NumPoints)
+		tl.Reduce(bufs, want)
+		for _, workers := range []int{1, 2, 3, 8, tc.k + 5} {
+			got := make([]float64, tl.NumPoints)
+			tl.ReduceParallel(bufs, got, workers)
+			for pt := range got {
+				if got[pt] != want[pt] {
+					t.Fatalf("n=%d k=%d workers=%d: out[%d] = %v, Reduce gives %v (diff %g)",
+						tc.n, tc.k, workers, pt, got[pt], want[pt], got[pt]-want[pt])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceParallelPanicsOnBadLength mirrors Reduce's contract.
+func TestReduceParallelPanicsOnBadLength(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 4, 0.1)
+	tl := New(m, pointElem, 2, mark)
+	defer func() {
+		if recover() == nil {
+			t.Error("ReduceParallel with short out did not panic")
+		}
+	}()
+	tl.ReduceParallel(tl.NewBuffers(), make([]float64, tl.NumPoints-1), 2)
+}
