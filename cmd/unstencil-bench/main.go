@@ -8,13 +8,16 @@
 //	unstencil-bench -label after -out BENCH_PR3.json
 //	unstencil-bench -out BENCH_PR3.json -compare before,after
 //	unstencil-bench -scaling -scaling-out BENCH_PR4.json
+//	unstencil-bench -operator -operator-out BENCH_PR5.json
 //
 // Each invocation merges its results into the output file under -label,
 // preserving runs recorded under other labels; -compare prints a
 // benchstat-like base-vs-head table from the stored runs without
 // re-benchmarking. -scaling runs the strong-scaling sweep instead: every
 // scheme at every worker count, recording wall-clock and modeled speedups
-// plus the bit-identity check against the serial run.
+// plus the bit-identity check against the serial run. -operator runs the
+// assembled-operator sweep: assembly cost, apply-vs-direct throughput, CSR
+// shape, and the break-even field count at which assembly pays for itself.
 package main
 
 import (
@@ -38,8 +41,31 @@ func main() {
 		scaling        = flag.Bool("scaling", false, "run the strong-scaling sweep instead of the hot-path suite")
 		scalingOut     = flag.String("scaling-out", "BENCH_PR4.json", "with -scaling: report file to write")
 		scalingWorkers = flag.String("scaling-workers", "", "with -scaling: comma-separated worker sweep, e.g. 1,2,4,8")
+		operator       = flag.Bool("operator", false, "run the assembled-operator sweep instead of the hot-path suite")
+		operatorOut    = flag.String("operator-out", "BENCH_PR5.json", "with -operator: report file to write")
 	)
 	flag.Parse()
+
+	if *operator {
+		ocfg := bench.DefaultOperatorConfig()
+		if *size > 0 {
+			ocfg.Size = *size
+		}
+		if *workers > 0 {
+			ocfg.Workers = *workers
+		}
+		fmt.Fprintf(os.Stderr, "running assembled-operator sweep (size=%d, orders=%v)...\n", ocfg.Size, ocfg.Orders)
+		rep, err := bench.RunOperator(ocfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Save(*operatorOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *operatorOut)
+		return
+	}
 
 	if *scaling {
 		scfg := bench.DefaultScalingConfig()

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/dg"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+// assembleTestField is smooth and non-separable so every mode of every
+// element carries weight.
+func assembleTestField(p geom.Point) float64 {
+	return math.Sin(2*math.Pi*p.X)*math.Cos(2*math.Pi*p.Y) + 0.25*p.X*p.Y
+}
+
+func assembleTestMeshes(t *testing.T) map[string]*mesh.Mesh {
+	t.Helper()
+	um, err := mesh.SizedLowVariance(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*mesh.Mesh{
+		"structured":   mesh.Structured(4),
+		"unstructured": um,
+	}
+}
+
+// The tentpole property: the assembled operator applied to the field
+// reproduces direct per-point evaluation within 1e-12, on symmetric and
+// one-sided boundary configurations, for P1–P3, on fixed-seed meshes.
+func TestOperatorMatchesDirect(t *testing.T) {
+	for mname, m := range assembleTestMeshes(t) {
+		for _, boundary := range []Boundary{Periodic, OneSided} {
+			for p := 1; p <= 3; p++ {
+				if mname == "unstructured" && p == 2 && testing.Short() {
+					continue
+				}
+				ev := buildEvaluator(t, m, p, assembleTestField, Options{Boundary: boundary, Workers: 4})
+				direct, err := ev.RunPerPoint(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, scheme := range []Scheme{PerPoint, PerElement} {
+					op, err := ev.AssembleOperator(AssembleOpts{Scheme: scheme})
+					if err != nil {
+						t.Fatalf("%s/%v/P%d/%v: assemble: %v", mname, boundary, p, scheme, err)
+					}
+					got, err := op.Apply(ev.Field)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := maxAbsDiff(got, direct.Solution); d > 1e-12 {
+						t.Errorf("%s/%v/P%d/%v: apply vs direct max diff %.3e", mname, boundary, p, scheme, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The operator depends only on (mesh, grid, kernel, h): assembled once, it
+// post-processes any same-degree field on the mesh.
+func TestOperatorFieldIndependence(t *testing.T) {
+	m := mesh.Structured(4)
+	ev := buildEvaluator(t, m, 2, assembleTestField, Options{Workers: 4})
+	op, err := ev.AssembleOperator(AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := func(p geom.Point) float64 { return math.Exp(-4*p.X) * math.Sin(3*math.Pi*p.Y) }
+	ev2 := buildEvaluator(t, m, 2, other, Options{Workers: 4})
+	direct, err := ev2.RunPerPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := op.Apply(ev2.Field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, direct.Solution); d > 1e-12 {
+		t.Errorf("second field through first field's operator: max diff %.3e", d)
+	}
+}
+
+// Custom row positions (a query batch) assemble with the per-point scheme
+// and agree with EvalBatch.
+func TestOperatorCustomPoints(t *testing.T) {
+	m := mesh.Structured(4)
+	for _, boundary := range []Boundary{Periodic, OneSided} {
+		ev := buildEvaluator(t, m, 2, assembleTestField, Options{Boundary: boundary, Workers: 4})
+		pts := make([]geom.Point, 0, 64)
+		for i := 0; i < 64; i++ {
+			pts = append(pts, geom.Pt(
+				math.Mod(0.13+0.61803398875*float64(i), 1),
+				math.Mod(0.29+0.7548776662*float64(i), 1),
+			))
+		}
+		want, _, err := ev.EvalBatch(pts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := ev.AssembleOperator(AssembleOpts{Points: pts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Rows != len(pts) {
+			t.Fatalf("rows = %d, want %d", op.Rows, len(pts))
+		}
+		got, err := op.Apply(ev.Field)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("%v: custom-point operator vs EvalBatch: max diff %.3e", boundary, d)
+		}
+	}
+}
+
+// Morton row order is a pure storage permutation: the applied values are
+// bit-identical to natural order.
+func TestOperatorRowOrderPureStorage(t *testing.T) {
+	m := mesh.Structured(4)
+	ev := buildEvaluator(t, m, 2, assembleTestField, Options{Workers: 4})
+	morton, err := ev.AssembleOperator(AssembleOpts{RowOrder: RowMorton})
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural, err := ev.AssembleOperator(AssembleOpts{RowOrder: RowNatural})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if morton.Perm == nil {
+		t.Fatal("Morton assembly produced no permutation")
+	}
+	if natural.Perm != nil {
+		t.Fatal("natural assembly produced a permutation")
+	}
+	if morton.NNZ() != natural.NNZ() {
+		t.Fatalf("nnz differs: morton %d, natural %d", morton.NNZ(), natural.NNZ())
+	}
+	a, err := morton.Apply(ev.Field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := natural.Apply(ev.Field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: morton %v != natural %v", i, a[i], b[i])
+		}
+	}
+	// The permutation must be a bijection onto the point set.
+	seen := make([]bool, morton.Rows)
+	for _, pt := range morton.Perm {
+		if seen[pt] {
+			t.Fatalf("point %d appears twice in Perm", pt)
+		}
+		seen[pt] = true
+	}
+}
+
+// Assembly is deterministic: any worker count yields bit-identical CSR.
+func TestOperatorAssemblyDeterministic(t *testing.T) {
+	m, err := mesh.SizedLowVariance(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{PerPoint, PerElement} {
+		ev := buildEvaluator(t, m, 2, assembleTestField, Options{Workers: 4})
+		base, err := ev.AssembleOperator(AssembleOpts{Scheme: scheme, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 7} {
+			op, err := ev.AssembleOperator(AssembleOpts{Scheme: scheme, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(op.Val) != len(base.Val) {
+				t.Fatalf("%v: workers=%d nnz %d != %d", scheme, w, len(op.Val), len(base.Val))
+			}
+			for i := range op.Val {
+				if op.Val[i] != base.Val[i] || op.ColInd[i] != base.ColInd[i] {
+					t.Fatalf("%v: workers=%d entry %d differs", scheme, w, i)
+				}
+			}
+			for i := range op.RowPtr {
+				if op.RowPtr[i] != base.RowPtr[i] {
+					t.Fatalf("%v: workers=%d rowptr %d differs", scheme, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOperatorErrors(t *testing.T) {
+	m := mesh.Structured(4)
+	ev := buildEvaluator(t, m, 2, assembleTestField, Options{Workers: 2})
+	if _, err := ev.AssembleOperator(AssembleOpts{Scheme: PerElement, Points: []geom.Point{geom.Pt(0.5, 0.5)}}); err == nil {
+		t.Error("per-element assembly with custom points should fail")
+	}
+	if _, err := ev.AssembleOperator(AssembleOpts{Scheme: Assembled}); err == nil {
+		t.Error("assembling with the Assembled scheme should fail")
+	}
+	op, err := ev.AssembleOperator(AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongP := dg.Project(m, 3, assembleTestField, 4)
+	if _, err := op.Apply(wrongP); err == nil {
+		t.Error("applying a mismatched-degree field should fail")
+	}
+	if err := op.ApplyVec(make([]float64, 3), make([]float64, op.Rows), 1); err == nil {
+		t.Error("short coefficient vector should fail")
+	}
+	if err := op.ApplyVec(wrongP.Coeffs[:op.Cols], make([]float64, 3), 1); err == nil {
+		t.Error("short output vector should fail")
+	}
+}
+
+// The apply itself is bit-identical across worker counts (each row is
+// summed in CSR order by exactly one goroutine).
+func TestOperatorApplyParallelBitIdentical(t *testing.T) {
+	m, err := mesh.SizedLowVariance(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := buildEvaluator(t, m, 2, assembleTestField, Options{Workers: 4})
+	op, err := ev.AssembleOperator(AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]float64, op.Rows)
+	if err := op.ApplyVec(ev.Field.Coeffs, serial, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 5, 16} {
+		out := make([]float64, op.Rows)
+		if err := op.ApplyVec(ev.Field.Coeffs, out, w); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != serial[i] {
+				t.Fatalf("workers=%d: point %d differs from serial", w, i)
+			}
+		}
+	}
+}
+
+// Assembly records the geometry work it performed and the operator's shape
+// summary is consistent.
+func TestOperatorStatsAndCounters(t *testing.T) {
+	m := mesh.Structured(4)
+	ev := buildEvaluator(t, m, 2, assembleTestField, Options{Workers: 2})
+	op, err := ev.AssembleOperator(AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.AssemblyCounters.Regions == 0 || op.AssemblyCounters.QuadEvals == 0 {
+		t.Errorf("assembly counters empty: %+v", op.AssemblyCounters)
+	}
+	if op.AssemblyScheme != "per-point" {
+		t.Errorf("scheme = %q", op.AssemblyScheme)
+	}
+	st := op.Stats()
+	if st.NNZ != op.NNZ() || st.Rows != len(ev.Points) || st.NNZPerRow <= 0 {
+		t.Errorf("bad stats: %+v", st)
+	}
+	if op.Cols != m.NumTris()*ev.Field.Basis.N {
+		t.Errorf("cols = %d", op.Cols)
+	}
+	ac := op.ApplyCounters()
+	if ac.Flops != 2*uint64(op.NNZ()) {
+		t.Errorf("apply flops = %d, want %d", ac.Flops, 2*op.NNZ())
+	}
+}

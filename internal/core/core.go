@@ -49,6 +49,10 @@ const (
 	PerPoint Scheme = iota
 	// PerElement is the paper's proposed scatter scheme (Algorithm 3).
 	PerElement
+	// Assembled applies a precomputed sparse operator (AssembleOperator)
+	// instead of re-running geometry; valid as a job scheme, not as
+	// Options.Scheme for the direct runners.
+	Assembled
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +62,8 @@ func (s Scheme) String() string {
 		return "per-point"
 	case PerElement:
 		return "per-element"
+	case Assembled:
+		return "operator"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -363,6 +369,10 @@ type worker struct {
 	counters metrics.Counters
 	cand     []int32
 	kx, ky   *bspline.Kernel // kernels in effect for the current point
+	// wacc receives one (point, element) pair's per-basis-function weights
+	// during operator assembly (integrateWeights); unused on the direct
+	// evaluation paths.
+	wacc []float64
 	// edPerRegion is the modeled element-data bytes charged (uncoalesced,
 	// one scattered load transaction) for every integrated sub-region. The
 	// per-point scheme sets it to the element payload: in a point-block

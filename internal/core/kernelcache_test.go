@@ -4,6 +4,10 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"unstencil/internal/bspline"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
 )
 
 // Quantisation must round away from zero so the quantised support never
@@ -106,5 +110,55 @@ func TestKernelCacheConcurrent(t *testing.T) {
 	}
 	if got := c.size(); got != 1 {
 		t.Fatalf("cache size %d, want 1", got)
+	}
+}
+
+// Churn past the cache capacity: more distinct quantised shifts than
+// kernelCacheCap must stay bounded in memory, never error, and keep
+// returning kernels that agree with freshly built ones after eviction.
+func TestKernelCacheChurnBounded(t *testing.T) {
+	m := mesh.Structured(2)
+	ev := buildEvaluator(t, m, 2, func(p geom.Point) float64 { return p.X }, Options{Boundary: OneSided})
+	lo, _ := ev.Kernel.Support()
+	// Positive shifts live in (0, −lo); −lo·4096 ≈ 14336 buckets for P=2,
+	// comfortably past the 8192 cap from the lower boundary alone.
+	n := kernelCacheCap + kernelCacheCap/8
+	if maxBuckets := int(-lo / shiftQuantum); n >= maxBuckets {
+		t.Fatalf("sweep of %d buckets exceeds the %d reachable ones; enlarge the kernel", n, maxBuckets)
+	}
+	for i := 1; i <= n; i++ {
+		s := (float64(i) - 0.5) * shiftQuantum // quantises (away from zero) to bucket i
+		x := ev.H * (-lo - s)                  // support deficit at x is exactly s·h
+		ker, err := ev.oneSidedFor(x)
+		if err != nil {
+			t.Fatalf("bucket %d: %v", i, err)
+		}
+		if ker == ev.Kernel {
+			t.Fatalf("bucket %d: interior kernel returned for boundary point", i)
+		}
+		if sz := ev.osCache.size(); sz > kernelCacheCap {
+			t.Fatalf("bucket %d: cache grew to %d > cap %d", i, sz, kernelCacheCap)
+		}
+		// Spot-check value agreement with a freshly built kernel — in
+		// particular for late buckets served after the eviction sweep.
+		if i%1024 == 0 || i == n {
+			fresh, err := bspline.NewOneSided(ev.Opt.P, float64(i)*shiftQuantum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flo, fhi := fresh.Support()
+			if clo, chi := ker.Support(); clo != flo || chi != fhi {
+				t.Fatalf("bucket %d: support (%v,%v) != fresh (%v,%v)", i, clo, chi, flo, fhi)
+			}
+			for j := 0; j <= 8; j++ {
+				at := flo + (fhi-flo)*float64(j)/8
+				if d := math.Abs(ker.Eval(at) - fresh.Eval(at)); d > 1e-12 {
+					t.Fatalf("bucket %d: cached kernel disagrees with fresh by %v at %v", i, d, at)
+				}
+			}
+		}
+	}
+	if sz := ev.osCache.size(); sz > kernelCacheCap {
+		t.Fatalf("final cache size %d > cap %d", sz, kernelCacheCap)
 	}
 }

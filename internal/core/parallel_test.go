@@ -6,6 +6,7 @@ import (
 
 	"unstencil/internal/geom"
 	"unstencil/internal/mesh"
+	"unstencil/internal/metrics"
 )
 
 func parallelTestField(p geom.Point) float64 {
@@ -186,5 +187,108 @@ func TestPipelinedAllocs(t *testing.T) {
 	if allocs > budget {
 		t.Errorf("pipelined run allocated %.0f objects, budget %.0f (numColors=%d)",
 			allocs, budget, numColors)
+	}
+}
+
+// Argument normalization: workers <= 0 falls back to Opt.Workers and the
+// values are unchanged by the fallback.
+func TestEvalBatchWorkersNormalized(t *testing.T) {
+	ev := buildEvaluator(t, mesh.Structured(4), 1, parallelTestField, Options{Workers: 3})
+	pts := parallelTestPositions(17)
+	want, wantCtr, err := ev.EvalBatch(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, -5} {
+		got, ctr, err := ev.EvalBatch(pts, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: position %d differs from workers=1", w, i)
+			}
+		}
+		if ctr != wantCtr {
+			t.Errorf("workers=%d: counters %+v != sequential %+v", w, ctr, wantCtr)
+		}
+	}
+}
+
+// An empty (but non-nil) position slice returns an empty result without
+// touching the worker pool, for any workers argument.
+func TestEvalBatchEmptyNonNil(t *testing.T) {
+	ev := buildEvaluator(t, mesh.Structured(4), 1, parallelTestField, Options{Workers: 2})
+	for _, w := range []int{-1, 0, 1, 8} {
+		out, ctr, err := ev.EvalBatch([]geom.Point{}, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("workers=%d: got %d values for empty input", w, len(out))
+		}
+		if ctr != (metrics.Counters{}) {
+			t.Errorf("workers=%d: empty batch reported work: %+v", w, ctr)
+		}
+	}
+}
+
+// Positions outside the unit square: the periodic evaluator wraps them
+// (agreeing with EvalAt on the same out-of-range position), and a batch
+// mixing interior and exterior points must behave exactly like the
+// sequential sweep — including whether it errors — under both boundary
+// treatments.
+func TestEvalBatchOutsideMesh(t *testing.T) {
+	m := mesh.Structured(4)
+	outside := []geom.Point{
+		geom.Pt(1.3, 0.5),
+		geom.Pt(-0.2, 0.7),
+		geom.Pt(0.4, 2.1),
+		geom.Pt(-1.6, -0.9),
+	}
+	mixed := append(parallelTestPositions(9), outside...)
+
+	for _, boundary := range []Boundary{Periodic, OneSided} {
+		ev := buildEvaluator(t, m, 1, parallelTestField, Options{Boundary: boundary, Workers: 4})
+		var wantVals []float64
+		var wantErr error
+		for _, p := range mixed {
+			v, err := ev.EvalAt(p)
+			if err != nil {
+				wantErr = err
+				break
+			}
+			wantVals = append(wantVals, v)
+		}
+		got, _, err := ev.EvalBatch(mixed, 4)
+		if wantErr != nil {
+			if err == nil {
+				t.Fatalf("%v: sequential sweep errors (%v) but batch succeeded", boundary, wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%v: %v", boundary, err)
+		}
+		for i := range got {
+			if got[i] != wantVals[i] {
+				t.Fatalf("%v: position %d (%v): batch %v != EvalAt %v",
+					boundary, i, mixed[i], got[i], wantVals[i])
+			}
+		}
+		if boundary == Periodic {
+			// Wrapping: the out-of-range tail must equal the wrapped
+			// in-range evaluations.
+			for i, p := range outside {
+				wrapped := geom.Pt(math.Mod(math.Mod(p.X, 1)+1, 1), math.Mod(math.Mod(p.Y, 1)+1, 1))
+				wv, err := ev.EvalAt(wrapped)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := math.Abs(got[len(mixed)-len(outside)+i] - wv); d > 1e-11 {
+					t.Errorf("periodic: %v vs wrapped %v differ by %v", p, wrapped, d)
+				}
+			}
+		}
 	}
 }

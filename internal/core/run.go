@@ -132,9 +132,13 @@ func (ev *Evaluator) NewTiling(k int) *tile.Tiling {
 			// Each candidate pair clips the element against the kernel
 			// cells its bounding box overlaps and integrates the clipped
 			// regions, so the per-pair cost scales with cell count ×
-			// quadrature size.
-			cx := math.Floor(bb.Width()/ev.H) + 1
-			cy := math.Floor(bb.Height()/ev.H) + 1
+			// quadrature size. An extent of w overlaps up to
+			// floor(w/h)+2 cells along an axis once it straddles a cell
+			// boundary (only an extent aligned to the lattice touches
+			// floor(w/h)+1), so the pessimistic count keeps small
+			// elements from being under-weighted in the partition.
+			cx := math.Floor(bb.Width()/ev.H) + 2
+			cy := math.Floor(bb.Height()/ev.H) + 2
 			weights[e] = 1 + float64(n)*(1+cx*cy*ruleLen)
 		}
 	})

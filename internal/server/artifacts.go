@@ -1,6 +1,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +11,7 @@ import (
 	"unstencil/internal/dg"
 	"unstencil/internal/geom"
 	"unstencil/internal/mesh"
+	"unstencil/internal/operator"
 	"unstencil/internal/tile"
 )
 
@@ -22,6 +25,9 @@ import (
 //	eval:<sha256>/p<P>/g<G>/<boundary>/<field>      *core.Evaluator (kernel
 //	                                                tables, grids, points)
 //	tiling:<evalKey>/k<K>                           *tile.Tiling
+//	op:<sha256>/p<P>/g<G>/<boundary>                assembled *operator.Operator
+//	qop:<sha256>/p<P>/<boundary>/<pts-sha256>       custom-point operator for
+//	                                                a repeated query batch
 //
 // All cached artifacts are immutable after construction and safe to share
 // across concurrently running jobs and queries (Evaluator's Run methods and
@@ -170,6 +176,64 @@ func (a *Artifacts) Tiling(ev *core.Evaluator, evalKey string, k int) (*tile.Til
 		return nil, false, err
 	}
 	return v.(*tile.Tiling), hit, nil
+}
+
+// OpKey returns the cache key of the assembled grid operator. Operators
+// are field-independent — the weights depend only on (mesh, grid, kernel,
+// h) — so the key deliberately omits the field kind: jobs post-processing
+// different fields on a warm mesh share one resident operator. The grid
+// degree is the evaluator's normalized value so grid_degree 0 and its
+// explicit default hit the same entry.
+func OpKey(meshID string, p, gridDegree int, boundary core.Boundary) string {
+	return fmt.Sprintf("op:%s/p%d/g%d/%v", meshID, p, gridDegree, boundary)
+}
+
+// Operator returns the assembled post-processing operator for ev's
+// (mesh, grid, kernel, h) tuple, assembling it on first use. Jobs on a warm
+// mesh skip all geometry: candidate finding, clipping, fan triangulation
+// and kernel evaluation were paid by whichever request assembled first.
+// The boolean reports a cache hit.
+func (a *Artifacts) Operator(ev *core.Evaluator, meshID string) (*operator.Operator, bool, error) {
+	key := OpKey(meshID, ev.Opt.P, ev.Opt.GridDegree, ev.Opt.Boundary)
+	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		op, err := ev.AssembleOperator(core.AssembleOpts{})
+		if err != nil {
+			return nil, 0, err
+		}
+		return op, op.Bytes() + 1024, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*operator.Operator), hit, nil
+}
+
+// QueryOperator returns an assembled operator whose rows are the given
+// query positions, keyed by the content hash of the position batch. The
+// target workload is a client re-evaluating the same positions against new
+// fields each time step (streamline resampling): the first query pays
+// per-point assembly, every later one is a sparse apply. The boolean
+// reports a cache hit.
+func (a *Artifacts) QueryOperator(ev *core.Evaluator, meshID string, pts []geom.Point) (*operator.Operator, bool, error) {
+	h := sha256.New()
+	var buf [16]byte
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Y))
+		h.Write(buf[:])
+	}
+	key := fmt.Sprintf("qop:%s/p%d/%v/%x", meshID, ev.Opt.P, ev.Opt.Boundary, h.Sum(nil))
+	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		op, err := ev.AssembleOperator(core.AssembleOpts{Points: pts})
+		if err != nil {
+			return nil, 0, err
+		}
+		return op, op.Bytes() + 1024, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*operator.Operator), hit, nil
 }
 
 // Stats exposes the underlying cache counters.

@@ -13,6 +13,7 @@ import (
 	"unstencil/internal/core"
 	"unstencil/internal/fault"
 	"unstencil/internal/metrics"
+	"unstencil/internal/operator"
 	"unstencil/internal/tile"
 )
 
@@ -30,7 +31,9 @@ const (
 type JobSpec struct {
 	// MeshID references a mesh previously uploaded via POST /v1/meshes.
 	MeshID string `json:"mesh_id"`
-	// Scheme is "per-point" or "per-element".
+	// Scheme is "per-point", "per-element", or "operator" (apply the
+	// assembled sparse operator; assembly is cached per mesh/grid/kernel,
+	// so repeated fields on a warm mesh skip geometry entirely).
 	Scheme string `json:"scheme"`
 	// P is the dG polynomial order (1..4).
 	P int `json:"p"`
@@ -67,9 +70,9 @@ func (s *JobSpec) normalize(defaultBlocks int) error {
 		return errors.New("mesh_id is required")
 	}
 	switch s.Scheme {
-	case "per-point", "per-element":
+	case "per-point", "per-element", "operator":
 	default:
-		return fmt.Errorf("scheme must be %q or %q, got %q", "per-point", "per-element", s.Scheme)
+		return fmt.Errorf("scheme must be %q, %q or %q, got %q", "per-point", "per-element", "operator", s.Scheme)
 	}
 	if s.P < 1 || s.P > 4 {
 		return fmt.Errorf("p must be in 1..4, got %d", s.P)
@@ -116,10 +119,14 @@ func parseBoundary(s string) (core.Boundary, error) {
 }
 
 func parseScheme(s string) core.Scheme {
-	if s == "per-point" {
+	switch s {
+	case "per-point":
 		return core.PerPoint
+	case "operator":
+		return core.Assembled
+	default:
+		return core.PerElement
 	}
-	return core.PerElement
 }
 
 // Job pipeline stages, used to attribute failures and enforce per-stage
@@ -797,8 +804,9 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 		hits   []string
 		ev     *core.Evaluator
 		tiling *tile.Tiling
+		op     *operator.Operator
 	)
-	perElement := parseScheme(spec.Scheme) == core.PerElement
+	scheme := parseScheme(spec.Scheme)
 	if err := m.runStage(ctx, StageArtifacts, func() error {
 		var hit bool
 		var err error
@@ -809,20 +817,54 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 		if hit {
 			hits = append(hits, "evaluator")
 		}
-		if !perElement {
-			return nil
-		}
-		evalKey := EvalKey(spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
-		tiling, hit, err = m.arts.Tiling(ev, evalKey, spec.Blocks)
-		if err != nil {
-			return err
-		}
-		if hit {
-			hits = append(hits, "tiling")
+		switch scheme {
+		case core.PerElement:
+			evalKey := EvalKey(spec.MeshID, spec.P, spec.GridDegree, boundary, spec.Field)
+			tiling, hit, err = m.arts.Tiling(ev, evalKey, spec.Blocks)
+			if err != nil {
+				return err
+			}
+			if hit {
+				hits = append(hits, "tiling")
+			}
+		case core.Assembled:
+			// The operator is field-independent, so a job on a new field
+			// against a warm mesh hits here and skips all geometry.
+			op, hit, err = m.arts.Operator(ev, spec.MeshID)
+			if err != nil {
+				return err
+			}
+			if hit {
+				hits = append(hits, "operator")
+			}
 		}
 		return nil
 	}); err != nil {
 		return nil, hits, err
+	}
+
+	// Assembled scheme: the evaluation is one sparse apply, bounded by the
+	// evaluate-stage deadline like the direct runners.
+	if scheme == core.Assembled {
+		var res *core.Result
+		if err := m.runStage(ctx, StageEvaluate, func() error {
+			start := time.Now()
+			sol, err := op.Apply(ev.Field)
+			if err != nil {
+				return err
+			}
+			res = &core.Result{
+				Solution:       sol,
+				Total:          op.ApplyCounters(),
+				Wall:           time.Since(start),
+				MemoryOverhead: 1,
+				Scheme:         core.Assembled,
+			}
+			return nil
+		}); err != nil {
+			return nil, hits, err
+		}
+		return res, hits, nil
 	}
 
 	// Evaluation stage: the resilient runners observe ctx directly, so the
@@ -837,7 +879,7 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 		Faults:       m.faults,
 	}
 	var res *core.Result
-	if perElement {
+	if scheme == core.PerElement {
 		res, err = ev.RunPerElementResilientCtx(evalCtx, tiling, rs)
 	} else {
 		res, err = ev.RunPerPointResilientCtx(evalCtx, spec.Blocks, rs)

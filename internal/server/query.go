@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"unstencil/internal/geom"
+	"unstencil/internal/metrics"
 )
 
 // MaxQueryPoints bounds one batch query. Requests beyond it are rejected
@@ -39,6 +40,12 @@ type QueryRequest struct {
 	// Workers bounds this query's evaluation concurrency; 0 means the
 	// server's evaluator worker budget.
 	Workers int `json:"workers,omitempty"`
+	// UseOperator routes the batch through an assembled sparse operator
+	// keyed by the content hash of the position batch: the first query at
+	// these positions pays per-point assembly, every repeat — the same
+	// streamline sample set against a new field each time step — is a
+	// sparse apply that skips geometry entirely.
+	UseOperator bool `json:"use_operator,omitempty"`
 }
 
 func (q *QueryRequest) normalize() error {
@@ -112,23 +119,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Points {
 		pts[i] = geom.Pt(p[0], p[1])
 	}
+	resp := map[string]any{
+		"mesh_id":        req.MeshID,
+		"evaluator_warm": hit,
+	}
+	var (
+		vals     []float64
+		counters metrics.Counters
+	)
 	start := time.Now()
-	vals, counters, err := ev.EvalBatch(pts, req.Workers)
-	if err != nil {
-		// The evaluator and inputs validated; a failure here is a kernel
-		// construction error for a position the boundary mode cannot serve
-		// (e.g. one-sided support wider than the domain).
-		writeError(w, http.StatusUnprocessableEntity, "query evaluation: %v", err)
-		return
+	if req.UseOperator {
+		op, opHit, err := s.arts.QueryOperator(ev, req.MeshID, pts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "query operator assembly: %v", err)
+			return
+		}
+		vals, err = op.Apply(ev.Field)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "query operator apply: %v", err)
+			return
+		}
+		counters = op.ApplyCounters()
+		resp["operator_warm"] = opHit
+	} else {
+		vals, counters, err = ev.EvalBatch(pts, req.Workers)
+		if err != nil {
+			// The evaluator and inputs validated; a failure here is a kernel
+			// construction error for a position the boundary mode cannot serve
+			// (e.g. one-sided support wider than the domain).
+			writeError(w, http.StatusUnprocessableEntity, "query evaluation: %v", err)
+			return
+		}
 	}
 	wall := time.Since(start)
 	s.mgr.RecordQuery(&counters)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"mesh_id":        req.MeshID,
-		"num_points":     len(vals),
-		"values":         vals,
-		"evaluator_warm": hit,
-		"counters":       counters,
-		"wall_ms":        float64(wall) / float64(time.Millisecond),
-	})
+	resp["num_points"] = len(vals)
+	resp["values"] = vals
+	resp["counters"] = counters
+	resp["wall_ms"] = float64(wall) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
 }

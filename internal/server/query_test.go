@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -151,5 +152,77 @@ func TestQueryValidation(t *testing.T) {
 				t.Errorf("status %d, want %d: %s", resp.StatusCode, tc.status, bytes.TrimSpace(data))
 			}
 		})
+	}
+}
+
+// TestQueryOperatorPath routes the same batch through use_operator: the
+// first request assembles (operator_warm false), the repeat hits the cached
+// operator, and both agree with the direct EvalBatch path to tight
+// tolerance.
+func TestQueryOperatorPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	m := mesh.Structured(6)
+	id := uploadMesh(t, ts, m)
+
+	pts := [][2]float64{{0.3, 0.4}, {0.51, 0.52}, {0.12, 0.87}, {0.66, 0.31}, {0.05, 0.93}}
+	direct, _ := json.Marshal(map[string]any{"mesh_id": id, "p": 2, "points": pts})
+	viaOp, _ := json.Marshal(map[string]any{"mesh_id": id, "p": 2, "points": pts, "use_operator": true})
+
+	resp, data := postQuery(t, ts, string(direct))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct query: status %d: %s", resp.StatusCode, data)
+	}
+	var want struct {
+		Values []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var out struct {
+		Values       []float64 `json:"values"`
+		OperatorWarm bool      `json:"operator_warm"`
+		Counters     struct {
+			Flops uint64 `json:"flops"`
+		} `json:"counters"`
+	}
+	resp, data = postQuery(t, ts, string(viaOp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("operator query: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OperatorWarm {
+		t.Error("first operator query reported a warm operator")
+	}
+	if len(out.Values) != len(pts) {
+		t.Fatalf("got %d values for %d points", len(out.Values), len(pts))
+	}
+	if out.Counters.Flops == 0 {
+		t.Error("operator query counters not populated")
+	}
+	for i := range out.Values {
+		if d := math.Abs(out.Values[i] - want.Values[i]); d > 1e-12 {
+			t.Errorf("point %d: operator %v vs direct %v (diff %.3e)", i, out.Values[i], want.Values[i], d)
+		}
+	}
+
+	resp, data = postQuery(t, ts, string(viaOp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat operator query: status %d: %s", resp.StatusCode, data)
+	}
+	repeat := out
+	repeat.OperatorWarm = false
+	if err := json.Unmarshal(data, &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.OperatorWarm {
+		t.Error("repeat query did not hit the cached operator")
+	}
+	for i := range repeat.Values {
+		if repeat.Values[i] != out.Values[i] {
+			t.Errorf("point %d: repeat apply differs from first apply", i)
+		}
 	}
 }

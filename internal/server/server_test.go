@@ -553,3 +553,73 @@ func ExampleEvalKey() {
 	fmt.Println(EvalKey("abc123", 2, 0, core.Periodic, "sincos"))
 	// Output: eval:abc123/p2/g0/periodic/sincos
 }
+
+// TestOperatorScheme submits "operator" jobs: the first assembles the
+// operator, a second job on a *different* field hits the field-independent
+// cache entry, and both solutions match their per-point counterparts to
+// tight tolerance.
+func TestOperatorScheme(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := uploadMesh(t, ts, mesh.Structured(6))
+
+	solution := func(spec JobSpec) []float64 {
+		st, code := submitJob(t, ts, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %+v: status %d", spec, code)
+		}
+		done := waitJob(t, ts, st.ID, 30*time.Second)
+		if done.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", st.ID, done.State, done.Error)
+		}
+		var out struct {
+			Solution []float64 `json:"solution"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result", &out); code != http.StatusOK {
+			t.Fatalf("result %s: status %d", st.ID, code)
+		}
+		return out.Solution
+	}
+	hitsOf := func(spec JobSpec) []string {
+		st, code := submitJob(t, ts, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d", code)
+		}
+		done := waitJob(t, ts, st.ID, 30*time.Second)
+		if done.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", st.ID, done.State, done.Error)
+		}
+		return done.CacheHits
+	}
+
+	for _, field := range []string{"sincos", "gauss"} {
+		direct := solution(JobSpec{MeshID: id, Scheme: "per-point", P: 2, Field: field})
+		viaOp := solution(JobSpec{MeshID: id, Scheme: "operator", P: 2, Field: field})
+		if len(direct) != len(viaOp) {
+			t.Fatalf("%s: %d operator points vs %d direct", field, len(viaOp), len(direct))
+		}
+		for i := range direct {
+			if d := math.Abs(direct[i] - viaOp[i]); d > 1e-12 {
+				t.Fatalf("%s: point %d: operator %v vs per-point %v (diff %.3e)",
+					field, i, viaOp[i], direct[i], d)
+			}
+		}
+	}
+
+	// A third field on the warm mesh must be served by the cached,
+	// field-independent operator: no geometry re-run.
+	hits := hitsOf(JobSpec{MeshID: id, Scheme: "operator", P: 2, Field: "poly"})
+	warm := false
+	for _, h := range hits {
+		if h == "operator" {
+			warm = true
+		}
+	}
+	if !warm {
+		t.Errorf("operator job on a new field missed the cache: hits=%v", hits)
+	}
+
+	// Unknown scheme still rejected.
+	if _, code := submitJob(t, ts, JobSpec{MeshID: id, Scheme: "assembled", P: 2}); code != http.StatusBadRequest {
+		t.Errorf("bad scheme accepted with status %d", code)
+	}
+}

@@ -1,6 +1,7 @@
 package spatial
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -157,5 +158,66 @@ func BenchmarkBuildBVH(b *testing.B) {
 	pts := uniformPoints(20000, 1)
 	for i := 0; i < b.N; i++ {
 		NewBVH(pts)
+	}
+}
+
+// Order must be a permutation of the point ids, and its depth-first
+// SW/SE/NW/NE traversal must keep spatial neighbours close in the
+// sequence: for a regular grid, the average index distance between
+// adjacent grid cells should be far below the row-major worst case.
+func TestQuadtreeOrderPermutation(t *testing.T) {
+	pts := clusteredPoints(777, 41)
+	order := NewQuadtree(pts).Order()
+	if len(order) != len(pts) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(pts))
+	}
+	seen := make([]bool, len(pts))
+	for _, id := range order {
+		if id < 0 || int(id) >= len(pts) {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d appears twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestQuadtreeOrderLocality(t *testing.T) {
+	const n = 32
+	pts := make([]geom.Point, 0, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			pts = append(pts, geom.Pt((float64(i)+0.5)/n, (float64(j)+0.5)/n))
+		}
+	}
+	order := NewQuadtree(pts).Order()
+	rank := make([]int, len(pts))
+	for r, id := range order {
+		rank[id] = r
+	}
+	// Mean |rank(p) − rank(right neighbour)| over the grid. Row-major
+	// order scores 1 horizontally but n vertically; a space-filling
+	// traversal keeps both directions bounded well below n/2 on average.
+	var sum, cnt float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			id := j*n + i
+			if i+1 < n {
+				sum += math.Abs(float64(rank[id] - rank[id+1]))
+				cnt++
+			}
+			if j+1 < n {
+				sum += math.Abs(float64(rank[id] - rank[id+n]))
+				cnt++
+			}
+		}
+	}
+	if mean := sum / cnt; mean > float64(n) {
+		t.Errorf("mean neighbour index distance %.1f exceeds %d — ordering is not local", mean, n)
+	}
+	// Empty tree: no panic, empty order.
+	if got := NewQuadtree(nil).Order(); len(got) != 0 {
+		t.Errorf("empty tree order has %d entries", len(got))
 	}
 }
