@@ -9,6 +9,7 @@
 //	unstencil-bench -out BENCH_PR3.json -compare before,after
 //	unstencil-bench -scaling -scaling-out BENCH_PR4.json
 //	unstencil-bench -operator -operator-out BENCH_PR5.json
+//	unstencil-bench -artifact -artifact-out BENCH_PR6.json
 //
 // Each invocation merges its results into the output file under -label,
 // preserving runs recorded under other labels; -compare prints a
@@ -18,6 +19,9 @@
 // plus the bit-identity check against the serial run. -operator runs the
 // assembled-operator sweep: assembly cost, apply-vs-direct throughput, CSR
 // shape, and the break-even field count at which assembly pays for itself.
+// -artifact runs the cold-start sweep: re-assembly cost vs loading the
+// persisted operator artifact (mapped and portable), encoded bytes per
+// artifact, and the identity check on the loaded operator's output.
 package main
 
 import (
@@ -43,8 +47,32 @@ func main() {
 		scalingWorkers = flag.String("scaling-workers", "", "with -scaling: comma-separated worker sweep, e.g. 1,2,4,8")
 		operator       = flag.Bool("operator", false, "run the assembled-operator sweep instead of the hot-path suite")
 		operatorOut    = flag.String("operator-out", "BENCH_PR5.json", "with -operator: report file to write")
+		artifactSweep  = flag.Bool("artifact", false, "run the artifact cold-start sweep instead of the hot-path suite")
+		artifactOut    = flag.String("artifact-out", "BENCH_PR6.json", "with -artifact: report file to write")
+		artifactDir    = flag.String("artifact-dir", "", "with -artifact: store scratch directory (default: temp dir)")
 	)
 	flag.Parse()
+
+	if *artifactSweep {
+		acfg := bench.DefaultArtifactConfig()
+		if *size > 0 {
+			acfg.Size = *size
+		}
+		if *workers > 0 {
+			acfg.Workers = *workers
+		}
+		fmt.Fprintf(os.Stderr, "running artifact cold-start sweep (size=%d, orders=%v)...\n", acfg.Size, acfg.Orders)
+		rep, err := bench.RunArtifact(acfg, *artifactDir)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Save(*artifactOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *artifactOut)
+		return
+	}
 
 	if *operator {
 		ocfg := bench.DefaultOperatorConfig()

@@ -49,7 +49,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
 		blocks       = flag.Int("blocks", 16, "default blocks/patches for jobs that omit it")
 		evalWorkers  = flag.Int("eval-workers", 0, "per-evaluation concurrency (0 = GOMAXPROCS)")
-		stateDir     = flag.String("state-dir", "", "directory for the job journal and mesh store; empty disables crash recovery")
+		stateDir     = flag.String("state-dir", "", "directory for the job journal; empty disables crash recovery")
+		storeDir     = flag.String("store-dir", "", "directory for the persistent artifact store (meshes, assembled operators); defaults to <state-dir>/store when -state-dir is set, so journal replay re-uses disk-resident artifacts; set alone it enables persistence without journaling")
 		retryN       = flag.Int("retry-attempts", 1, "tries per tile and per job for transient failures (1 = no retry)")
 		retryBase    = flag.Duration("retry-base", 10*time.Millisecond, "backoff before the first retry (doubles per retry)")
 		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "backoff cap")
@@ -82,6 +83,7 @@ func main() {
 		DefaultBlocks: *blocks,
 		EvalWorkers:   *evalWorkers,
 		StateDir:      *stateDir,
+		StoreDir:      *storeDir,
 		Retry: server.RetryPolicy{
 			Attempts: *retryN,
 			Base:     *retryBase,

@@ -1,0 +1,199 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"unstencil/internal/operator"
+)
+
+// hostLittleEndian reports whether this machine stores multi-byte integers
+// little-endian, i.e. whether the on-disk fixed-width arrays are
+// byte-identical to in-memory slices and may be aliased directly.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Mapping owns one read-only memory-mapped artifact file. Operators loaded
+// through MapOperator alias its pages via Operator.Backing; the mapping is
+// released either by an explicit Close (offline tools) or by the finalizer
+// once the operator itself is unreachable (the server's LRU eviction path,
+// which has no unload hook).
+type Mapping struct {
+	data   []byte
+	closed atomic.Bool
+}
+
+// Close unmaps the file. The CSR slices of any operator backed by this
+// mapping are invalid afterwards; long-lived holders (the server cache)
+// never call Close and rely on the finalizer instead.
+func (m *Mapping) Close() error {
+	if m == nil || m.closed.Swap(true) {
+		return nil
+	}
+	runtime.SetFinalizer(m, nil)
+	return munmapFile(m.data)
+}
+
+// Bytes returns the total mapped size.
+func (m *Mapping) Bytes() int64 { return int64(len(m.data)) }
+
+// Aliasing casts: valid only on little-endian hosts over 8-byte-aligned
+// payload bytes, both of which MapOperator checks before getting here.
+
+func castF64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castI64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castI32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// alignedSection returns the mapped payload of one section, enforcing the
+// element-width divisibility the casts assume.
+func (c *Container) alignedSection(data []byte, typ uint32, width uint64) ([]byte, error) {
+	s, ok := c.Section(typ)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section type %d", ErrCorrupt, typ)
+	}
+	if s.Length%width != 0 {
+		return nil, fmt.Errorf("%w: section %d length %d not a multiple of %d", ErrCorrupt, typ, s.Length, width)
+	}
+	return data[s.Offset : s.Offset+s.Length], nil
+}
+
+// MapOperator opens the operator artifact at path with the CSR arrays
+// aliasing a read-only memory mapping: zero deserialization, pages faulted
+// in as ApplyVec row-slices them. Every section CRC is verified before the
+// operator is returned (the verification pass doubles as page warm-up for
+// hot-start use). The boolean reports whether the mapping path was used;
+// on platforms without mmap, or big-endian hosts, the call transparently
+// falls back to the portable sequential decode and returns false.
+//
+// key "" skips the logical-key check (offline inspection).
+func MapOperator(path, key string) (*operator.Operator, bool, error) {
+	if !mmapSupported || !hostLittleEndian {
+		op, err := LoadOperatorFile(path, key)
+		return op, false, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if fi.Size() == 0 {
+		return nil, false, fmt.Errorf("%w: empty file", ErrCorrupt)
+	}
+	data, err := mmapFile(f, fi.Size())
+	if err != nil {
+		// mmap itself failing (filesystem without mmap support) is an
+		// environment limitation, not corruption: fall back.
+		op, lerr := LoadOperatorFile(path, key)
+		return op, false, lerr
+	}
+	m := &Mapping{data: data}
+	runtime.SetFinalizer(m, func(m *Mapping) { _ = m.Close() })
+	op, err := mapOperator(m, key)
+	if err != nil {
+		_ = m.Close()
+		return nil, false, err
+	}
+	return op, true, nil
+}
+
+func mapOperator(m *Mapping, key string) (*operator.Operator, error) {
+	c, err := Parse(bytes.NewReader(m.data), int64(len(m.data)))
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != KindOperator {
+		return nil, fmt.Errorf("%w: kind %s, want operator", ErrCorrupt, KindName(c.Kind))
+	}
+	// Full CRC verification up front: a mapped operator is applied many
+	// times without further checks, so integrity is settled once here.
+	if err := c.VerifyAll(); err != nil {
+		return nil, err
+	}
+	if key != "" {
+		if err := c.checkKey(key); err != nil {
+			return nil, err
+		}
+	}
+	meta, err := c.ReadSection(SecMeta)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := decodeOpMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	rawPtr, err := c.alignedSection(m.data, SecRowPtr, 8)
+	if err != nil {
+		return nil, err
+	}
+	rawCol, err := c.alignedSection(m.data, SecColInd, 4)
+	if err != nil {
+		return nil, err
+	}
+	rawVal, err := c.alignedSection(m.data, SecVal, 8)
+	if err != nil {
+		return nil, err
+	}
+	var perm []int32
+	if _, ok := c.Section(SecPerm); ok {
+		rawPerm, err := c.alignedSection(m.data, SecPerm, 4)
+		if err != nil {
+			return nil, err
+		}
+		perm = castI32s(rawPerm)
+	}
+	rowPtr, colInd, val := castI64s(rawPtr), castI32s(rawCol), castF64s(rawVal)
+	if err := validateCSR(sh, rowPtr, colInd, val, perm); err != nil {
+		return nil, err
+	}
+	return &operator.Operator{
+		Rows: sh.rows, Cols: sh.cols, BasisN: sh.basisN,
+		RowPtr: rowPtr, ColInd: colInd, Val: val, Perm: perm,
+		Workers:        sh.workers,
+		AssemblyScheme: sh.scheme,
+		AssemblyWall:   sh.wall, AssemblyCounters: sh.counters,
+		Backing: m,
+	}, nil
+}
+
+// LoadOperatorFile reads the operator artifact at path into heap-resident
+// slices: the portable path, one sequential decode pass.
+func LoadOperatorFile(path, key string) (*operator.Operator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeOperator(f, fi.Size(), key)
+}

@@ -1,0 +1,192 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"unstencil/internal/mesh"
+)
+
+// Save→Load round-trips an operator through the store, mapped and
+// portable, and the telemetry records the traffic.
+func TestStoreOperatorRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := testOperator(t, 40, 24, 6, true)
+	key := "op:abc/p2/g4/periodic"
+	if st.Has(key) {
+		t.Fatal("empty store claims to have the key")
+	}
+	if err := st.SaveOperator(key, op); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(key) {
+		t.Fatal("saved operator not on disk")
+	}
+	for _, mapped := range []bool{false, true} {
+		got, _, err := st.LoadOperator(key, mapped)
+		if err != nil {
+			t.Fatalf("mapped=%v: %v", mapped, err)
+		}
+		sameOperator(t, got, op)
+	}
+	snap := st.Counters().Snapshot()
+	if snap.Writes != 1 || snap.DiskHits != 2 || snap.BytesWritten == 0 {
+		t.Errorf("counters = %+v", snap)
+	}
+	if _, _, err := st.LoadOperator("op:missing", true); err == nil {
+		t.Error("loading a missing operator succeeded")
+	}
+}
+
+// Startup GC removes interrupted-write leftovers — temp files and .art
+// files whose header no longer parses — and leaves valid artifacts alone.
+func TestStoreGCTornFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := testOperator(t, 10, 8, 3, false)
+	if err := st.SaveOperator("op:keep", op); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "op-dead.art"), []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Counters().Snapshot().TornFilesGCd; got != 2 {
+		t.Errorf("torn files GC'd = %d, want 2", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "put-123.tmp")); !os.IsNotExist(err) {
+		t.Error("temp file survived GC")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "op-dead.art")); !os.IsNotExist(err) {
+		t.Error("undecodable artifact survived GC")
+	}
+	if !st2.Has("op:keep") {
+		t.Error("valid artifact did not survive GC")
+	}
+	if _, _, err := st2.LoadOperator("op:keep", true); err != nil {
+		t.Errorf("valid artifact unreadable after GC: %v", err)
+	}
+}
+
+// A payload bit flip below GC granularity is caught at load time by the
+// section CRC; the bad file is deleted so the next miss recomputes.
+func TestStoreCorruptLoadRejected(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := testOperator(t, 30, 20, 6, false)
+	key := "op:bitrot"
+	if err := st.SaveOperator(key, op); err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x40 // inside the last payload section
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := st.LoadOperator(key, true); err == nil {
+		t.Fatal("corrupt operator load succeeded")
+	}
+	if st.Has(key) {
+		t.Error("corrupt artifact left on disk")
+	}
+	snap := st.Counters().Snapshot()
+	if snap.CorruptRejected != 1 {
+		t.Errorf("corrupt_rejected = %d, want 1", snap.CorruptRejected)
+	}
+	// The rejection cleared the way: re-saving and loading works again.
+	if err := st.SaveOperator(key, op); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LoadOperator(key, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent loads of one key are safe and deduplicated by the store's
+// singleflight; everyone gets a usable operator. (Run under -race.)
+func TestStoreConcurrentLoads(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := testOperator(t, 60, 30, 6, true)
+	key := "op:herd"
+	if err := st.SaveOperator(key, op); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := st.LoadOperator(key, true)
+			if err == nil && got.Rows != op.Rows {
+				err = os.ErrInvalid
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+	}
+}
+
+// Meshes and fields round-trip through the store with their binding
+// metadata intact.
+func TestStoreMeshAndField(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.Structured(3)
+	id, err := st.SaveMesh(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadMesh(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ContentHash() != id {
+		t.Fatal("mesh round trip changed the content hash")
+	}
+
+	f := projectTestField(m)
+	key := "field:" + id + "/p2/test"
+	if err := st.SaveField(key, f); err != nil {
+		t.Fatal(err)
+	}
+	meta, coeffs, err := st.LoadField(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.MeshHash != id || meta.P != 2 || len(coeffs) != len(f.Coeffs) {
+		t.Fatalf("field meta = %+v (%d coeffs)", meta, len(coeffs))
+	}
+}

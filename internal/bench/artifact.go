@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"unstencil/internal/artifact"
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+)
+
+// ArtifactConfig parameterises the cold-start sweep cmd/unstencil-bench runs
+// with -artifact and CI records as BENCH_PR6.json. It measures the trade the
+// persistent store makes: paying one encoded file per operator to turn every
+// later cold start's re-assembly into a disk load.
+type ArtifactConfig struct {
+	// Size is the approximate triangle count of the fixed-seed mesh.
+	Size int
+	// Orders are the dG polynomial orders swept.
+	Orders []int
+	// Seed fixes the mesh generator so runs compare across commits.
+	Seed int64
+	// Workers bounds assembly concurrency; 0 follows GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DefaultArtifactConfig mirrors the operator sweep's mesh so BENCH_PR5 and
+// BENCH_PR6 describe the same workload from the two ends of a restart.
+func DefaultArtifactConfig() ArtifactConfig {
+	return ArtifactConfig{Size: 1000, Orders: []int{1, 2}, Seed: 1}
+}
+
+// ArtifactResult is one order's measurements: what re-assembly costs next to
+// loading the persisted operator (the cold-start question), the encoded
+// artifact sizes (the tinygpkg-style bytes-per-artifact trajectory), and the
+// proof that the loaded operator produces identical output.
+type ArtifactResult struct {
+	P int `json:"p"`
+
+	// Cold-start alternatives for one operator: re-assemble, or load the
+	// artifact (mapped where the platform allows, and the portable decode).
+	AssembleMS     float64 `json:"assemble_ms"`
+	LoadMappedMS   float64 `json:"load_mapped_ms"`
+	LoadPortableMS float64 `json:"load_portable_ms"`
+	// LoadSpeedup is AssembleMS / LoadMappedMS: how much faster a warm
+	// restart answers the first operator job.
+	LoadSpeedup float64 `json:"load_speedup"`
+	// Mapped reports whether the mapped load actually used mmap here.
+	Mapped bool `json:"mapped"`
+
+	// Encoded artifact sizes.
+	MeshBytes     int64   `json:"mesh_bytes"`
+	FieldBytes    int64   `json:"field_bytes"`
+	OperatorBytes int64   `json:"operator_bytes"`
+	NNZ           int     `json:"nnz"`
+	BytesPerNNZ   float64 `json:"bytes_per_nnz"`
+
+	// MaxDiff is the worst |loaded apply − original apply| across the grid;
+	// anything above zero would mean the store changed the numbers.
+	MaxDiff float64 `json:"max_diff"`
+}
+
+// ArtifactReport is the BENCH_PR6.json document.
+type ArtifactReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Config     ArtifactConfig   `json:"config"`
+	Results    []ArtifactResult `json:"results"`
+}
+
+// RunArtifact executes the cold-start sweep in dir (a scratch directory the
+// caller owns; pass "" for a temp dir).
+func RunArtifact(cfg ArtifactConfig, dir string) (*ArtifactReport, error) {
+	if cfg.Size <= 0 {
+		cfg = DefaultArtifactConfig()
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "unstencil-artifact-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := artifact.NewStore(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ArtifactReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Config:     cfg,
+	}
+	m, err := mesh.SizedLowVariance(cfg.Size, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	meshID, err := store.SaveMesh(m)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(store.Path("mesh:" + meshID)); err == nil {
+		for range cfg.Orders {
+			rep.Results = append(rep.Results, ArtifactResult{MeshBytes: fi.Size()})
+		}
+	} else {
+		return nil, err
+	}
+
+	for i, p := range cfg.Orders {
+		res := &rep.Results[i]
+		res.P = p
+		f := dg.Project(m, p, testField, 2)
+		ev, err := core.NewEvaluator(f, core.Options{P: p, GridDegree: -1, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+
+		fieldKey := fmt.Sprintf("field:%s/p%d/bench", meshID, p)
+		if err := store.SaveField(fieldKey, f); err != nil {
+			return nil, err
+		}
+		if fi, err := os.Stat(store.Path(fieldKey)); err == nil {
+			res.FieldBytes = fi.Size()
+		}
+
+		// The cold-start contenders. Assembly is a one-off per restart, so
+		// one timed run (not a b.N loop) is the honest measurement.
+		opKey := fmt.Sprintf("op:%s/p%d/g%d/bench", meshID, p, ev.Opt.GridDegree)
+		start := time.Now()
+		op, err := ev.AssembleOperator(core.AssembleOpts{})
+		if err != nil {
+			return nil, err
+		}
+		res.AssembleMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if err := store.SaveOperator(opKey, op); err != nil {
+			return nil, err
+		}
+		if fi, err := os.Stat(store.Path(opKey)); err == nil {
+			res.OperatorBytes = fi.Size()
+		}
+		res.NNZ = op.NNZ()
+		if res.NNZ > 0 {
+			res.BytesPerNNZ = float64(res.OperatorBytes) / float64(res.NNZ)
+		}
+
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lop, mapped, err := store.LoadOperator(opKey, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Mapped = mapped
+				_ = lop
+			}
+		})
+		res.LoadMappedMS = float64(br.T.Nanoseconds()) / float64(br.N) / float64(time.Millisecond)
+		br = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := store.LoadOperator(opKey, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.LoadPortableMS = float64(br.T.Nanoseconds()) / float64(br.N) / float64(time.Millisecond)
+		if res.LoadMappedMS > 0 {
+			res.LoadSpeedup = res.AssembleMS / res.LoadMappedMS
+		}
+
+		// Identity proof: the loaded operator's apply vs the original's.
+		lop, _, err := store.LoadOperator(opKey, true)
+		if err != nil {
+			return nil, err
+		}
+		want, err := op.Apply(ev.Field)
+		if err != nil {
+			return nil, err
+		}
+		got, err := lop.Apply(ev.Field)
+		if err != nil {
+			return nil, err
+		}
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > res.MaxDiff {
+				res.MaxDiff = d
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Fprint renders the sweep as a table.
+func (rep *ArtifactReport) Fprint(w *os.File) {
+	fmt.Fprintf(w, "%-4s %12s %12s %12s %9s %7s %12s %10s %10s\n",
+		"P", "assemble ms", "load ms", "portable ms", "speedup", "mmap", "op bytes", "B/nnz", "max diff")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "P%-3d %12.1f %12.3f %12.3f %8.0fx %7v %12d %10.2f %10.2e\n",
+			r.P, r.AssembleMS, r.LoadMappedMS, r.LoadPortableMS,
+			r.LoadSpeedup, r.Mapped, r.OperatorBytes, r.BytesPerNNZ, r.MaxDiff)
+	}
+}
+
+// Save writes the report as stable, indented JSON.
+func (rep *ArtifactReport) Save(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

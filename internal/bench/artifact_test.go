@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestArtifactColdStartSmoke is the CI gate on the persistent-store trade:
+// assemble an operator on the fixed-seed mesh, persist it, load it back
+// (assembly → persist → cold load → apply), and require the loaded
+// operator's output to agree with the original's at 1e-12 — in practice it
+// is bit-identical, since the stored arrays are the in-memory bytes — and
+// the encoded-size accounting to be populated for the trajectory file.
+func TestArtifactColdStartSmoke(t *testing.T) {
+	cfg := ArtifactConfig{Size: 200, Orders: []int{1}, Seed: 1}
+	rep, err := RunArtifact(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.MaxDiff > 1e-12 {
+		t.Errorf("loaded operator diverges from the assembled one by %.3e", r.MaxDiff)
+	}
+	if r.MeshBytes <= 0 || r.FieldBytes <= 0 || r.OperatorBytes <= 0 {
+		t.Errorf("encoded sizes not recorded: mesh=%d field=%d operator=%d",
+			r.MeshBytes, r.FieldBytes, r.OperatorBytes)
+	}
+	if r.NNZ <= 0 || r.BytesPerNNZ <= 0 {
+		t.Errorf("nnz accounting not recorded: nnz=%d bytes/nnz=%.2f", r.NNZ, r.BytesPerNNZ)
+	}
+	if r.LoadMappedMS <= 0 || r.AssembleMS <= 0 {
+		t.Errorf("timings not recorded: assemble=%.3f load=%.3f", r.AssembleMS, r.LoadMappedMS)
+	}
+	// The acceptance bar is 10×; CI runners are noisy, so gate the smoke at
+	// a conservative 2× and leave the real number to the trajectory file.
+	if r.LoadSpeedup < 2 {
+		t.Errorf("disk load only %.1fx faster than re-assembly", r.LoadSpeedup)
+	}
+}

@@ -58,6 +58,14 @@ type Operator struct {
 	// <= 1 applies serially.
 	Workers int
 
+	// Backing pins whatever memory the CSR slices alias when they do not
+	// own it — an mmap'd artifact file, for operators loaded zero-copy
+	// from disk. Holding the reference here ties the mapping's lifetime
+	// to the operator's reachability, so the garbage collector can only
+	// release the mapping once no caller can touch the slices. Nil for
+	// ordinary heap-assembled operators.
+	Backing any
+
 	// AssemblyScheme records which scheme built the weights ("per-point"
 	// or "per-element"), AssemblyWall how long assembly took, and
 	// AssemblyCounters the exact geometry work it performed — the

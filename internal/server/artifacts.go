@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 
+	"unstencil/internal/artifact"
 	"unstencil/internal/core"
 	"unstencil/internal/dg"
 	"unstencil/internal/geom"
@@ -39,9 +41,15 @@ type Artifacts struct {
 	// not participate in cache keys: worker count affects execution
 	// concurrency, never results.
 	evalWorkers int
-	// store, when non-nil, persists uploaded meshes and backfills cache
-	// misses so journal-replayed jobs survive a cold cache after a restart.
-	store *MeshStore
+	// store, when non-nil, is the disk tier under the LRU: uploaded meshes
+	// and assembled operators are written through, and cache misses fall
+	// back to disk before recomputation — so journal-replayed jobs survive
+	// a cold cache and operator-scheme jobs skip re-assembly entirely
+	// after a restart.
+	store *artifact.Store
+	// log receives store-degradation warnings (persist failures); nil
+	// disables.
+	log *slog.Logger
 }
 
 // NewArtifacts wraps cache; evalWorkers <= 0 means GOMAXPROCS.
@@ -49,8 +57,15 @@ func NewArtifacts(cache *Cache, evalWorkers int) *Artifacts {
 	return &Artifacts{cache: cache, evalWorkers: evalWorkers}
 }
 
-// SetStore attaches the durable mesh store. Call before serving requests.
-func (a *Artifacts) SetStore(st *MeshStore) { a.store = st }
+// SetStore attaches the durable artifact store. Call before serving
+// requests.
+func (a *Artifacts) SetStore(st *artifact.Store) { a.store = st }
+
+// SetLog attaches a logger for store-degradation warnings.
+func (a *Artifacts) SetLog(log *slog.Logger) { a.log = log }
+
+// Store exposes the disk tier, if attached (metrics, tests).
+func (a *Artifacts) Store() *artifact.Store { return a.store }
 
 // FieldFuncs are the analytic input fields a job may request; the service
 // projects them onto the mesh's broken polynomial space once per
@@ -87,7 +102,7 @@ func (a *Artifacts) PutMesh(m *mesh.Mesh) (string, error) {
 	id := m.ContentHash()
 	a.cache.Put("mesh:"+id, m, meshBytes(m))
 	if a.store != nil {
-		if _, err := a.store.Save(m); err != nil {
+		if _, err := a.store.SaveMesh(m); err != nil {
 			return id, err
 		}
 	}
@@ -105,7 +120,7 @@ func (a *Artifacts) Mesh(id string) (*mesh.Mesh, bool) {
 		return v.(*mesh.Mesh), true
 	}
 	if a.store != nil {
-		if m, err := a.store.Load(id); err == nil {
+		if m, err := a.store.LoadMesh(id); err == nil {
 			a.cache.Put("mesh:"+id, m, meshBytes(m))
 			return m, true
 		}
@@ -188,33 +203,76 @@ func OpKey(meshID string, p, gridDegree int, boundary core.Boundary) string {
 	return fmt.Sprintf("op:%s/p%d/g%d/%v", meshID, p, gridDegree, boundary)
 }
 
+// Operator sources, reported so jobs and queries can say whether the
+// geometry bill was paid now, earlier this process, or by a previous
+// incarnation whose work was persisted.
+const (
+	// OpSrcMemory: served warm from the in-process LRU.
+	OpSrcMemory = "memory"
+	// OpSrcDisk: LRU miss answered by the artifact store — a cold start
+	// warmed from disk instead of re-assembling.
+	OpSrcDisk = "disk"
+	// OpSrcAssembled: built from scratch (and written through to the
+	// store when one is attached).
+	OpSrcAssembled = "assembled"
+)
+
 // Operator returns the assembled post-processing operator for ev's
-// (mesh, grid, kernel, h) tuple, assembling it on first use. Jobs on a warm
-// mesh skip all geometry: candidate finding, clipping, fan triangulation
-// and kernel evaluation were paid by whichever request assembled first.
-// The boolean reports a cache hit.
-func (a *Artifacts) Operator(ev *core.Evaluator, meshID string) (*operator.Operator, bool, error) {
+// (mesh, grid, kernel, h) tuple. Resolution is tiered: the in-process LRU,
+// then the disk store (CRC- and key-verified, mmap-backed where the
+// platform allows), then assembly — whose result is written through to the
+// store so the next restart skips the geometry. The returned source is one
+// of OpSrcMemory, OpSrcDisk, OpSrcAssembled.
+func (a *Artifacts) Operator(ev *core.Evaluator, meshID string) (*operator.Operator, string, error) {
 	key := OpKey(meshID, ev.Opt.P, ev.Opt.GridDegree, ev.Opt.Boundary)
-	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
-		op, err := ev.AssembleOperator(core.AssembleOpts{})
+	return a.operatorFor(key, func() (*operator.Operator, error) {
+		return ev.AssembleOperator(core.AssembleOpts{})
+	})
+}
+
+// operatorFor resolves one operator cache key through the memory and disk
+// tiers, assembling (and persisting) on a full miss.
+func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator, error)) (*operator.Operator, string, error) {
+	src := OpSrcMemory // waiters on an in-flight build also report memory
+	v, _, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		// Disk tier before re-assembly. The LRU charge is the operator's
+		// CSR byte size either way: for an mmap-backed operator those are
+		// file-backed pages rather than heap, but they bound address
+		// space and page-cache pressure just the same.
+		if a.store != nil {
+			if op, _, err := a.store.LoadOperator(key, true); err == nil {
+				src = OpSrcDisk
+				return op, op.Stats().Bytes + 1024, nil
+			}
+		}
+		op, err := assemble()
 		if err != nil {
 			return nil, 0, err
 		}
-		return op, op.Bytes() + 1024, nil
+		src = OpSrcAssembled
+		if a.store != nil {
+			if err := a.store.SaveOperator(key, op); err != nil && a.log != nil {
+				// The operator stays resident; only restart warmth degrades.
+				a.log.Warn("operator not persisted; it will be re-assembled after a restart",
+					"key", key, "err", err)
+			}
+		}
+		return op, op.Stats().Bytes + 1024, nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, "", err
 	}
-	return v.(*operator.Operator), hit, nil
+	return v.(*operator.Operator), src, nil
 }
 
 // QueryOperator returns an assembled operator whose rows are the given
 // query positions, keyed by the content hash of the position batch. The
 // target workload is a client re-evaluating the same positions against new
-// fields each time step (streamline resampling): the first query pays
-// per-point assembly, every later one is a sparse apply. The boolean
-// reports a cache hit.
-func (a *Artifacts) QueryOperator(ev *core.Evaluator, meshID string, pts []geom.Point) (*operator.Operator, bool, error) {
+// fields each time step (streamline resampling): the first query ever pays
+// per-point assembly, every later one — including the first after a
+// restart, via the disk tier — is a sparse apply. The returned source is
+// one of OpSrcMemory, OpSrcDisk, OpSrcAssembled.
+func (a *Artifacts) QueryOperator(ev *core.Evaluator, meshID string, pts []geom.Point) (*operator.Operator, string, error) {
 	h := sha256.New()
 	var buf [16]byte
 	for _, p := range pts {
@@ -223,17 +281,9 @@ func (a *Artifacts) QueryOperator(ev *core.Evaluator, meshID string, pts []geom.
 		h.Write(buf[:])
 	}
 	key := fmt.Sprintf("qop:%s/p%d/%v/%x", meshID, ev.Opt.P, ev.Opt.Boundary, h.Sum(nil))
-	v, hit, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
-		op, err := ev.AssembleOperator(core.AssembleOpts{Points: pts})
-		if err != nil {
-			return nil, 0, err
-		}
-		return op, op.Bytes() + 1024, nil
+	return a.operatorFor(key, func() (*operator.Operator, error) {
+		return ev.AssembleOperator(core.AssembleOpts{Points: pts})
 	})
-	if err != nil {
-		return nil, false, err
-	}
-	return v.(*operator.Operator), hit, nil
 }
 
 // Stats exposes the underlying cache counters.

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"unstencil/internal/artifact"
 )
 
 // Cache is a size-bounded LRU keyed by string, with hit/miss/eviction
@@ -27,6 +29,33 @@ type Cache struct {
 	inflight map[string]*buildCall
 
 	hits, misses, evictions uint64
+	// classes breaks the counters down by key class (the prefix before
+	// ':': "mesh", "eval", "op", "qop", ...), so /debug/metrics can answer
+	// "how many bytes do assembled operators hold resident, and how often
+	// are they evicted" without guessing from totals.
+	classes map[string]*ClassStats
+}
+
+// ClassStats is the per-key-class slice of the cache counters. Bytes and
+// Entries are current residency; Hits/Misses/Evictions are cumulative.
+type ClassStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// class returns (creating if needed) the stats bucket for key. Requires
+// c.mu.
+func (c *Cache) class(key string) *ClassStats {
+	name := artifact.KeyClass(key)
+	cs, ok := c.classes[name]
+	if !ok {
+		cs = &ClassStats{}
+		c.classes[name] = cs
+	}
+	return cs
 }
 
 type cacheEntry struct {
@@ -52,6 +81,7 @@ func NewCache(maxBytes int64) *Cache {
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		inflight: make(map[string]*buildCall),
+		classes:  make(map[string]*ClassStats),
 	}
 }
 
@@ -62,9 +92,11 @@ func (c *Cache) Get(key string) (any, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		c.class(key).Misses++
 		return nil, false
 	}
 	c.hits++
+	c.class(key).Hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).value, true
 }
@@ -81,11 +113,15 @@ func (c *Cache) put(key string, value any, size int64) {
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		c.curBytes += size - ent.size
+		c.class(key).Bytes += size - ent.size
 		ent.value, ent.size = value, size
 		c.ll.MoveToFront(el)
 	} else {
 		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value, size: size})
 		c.curBytes += size
+		cs := c.class(key)
+		cs.Entries++
+		cs.Bytes += size
 	}
 	// Evict from the back, but never the entry just touched.
 	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
@@ -95,6 +131,10 @@ func (c *Cache) put(key string, value any, size int64) {
 		delete(c.items, ent.key)
 		c.curBytes -= ent.size
 		c.evictions++
+		cs := c.class(ent.key)
+		cs.Entries--
+		cs.Bytes -= ent.size
+		cs.Evictions++
 	}
 }
 
@@ -106,6 +146,7 @@ func (c *Cache) GetOrBuild(key string, build func() (value any, size int64, err 
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.hits++
+		c.class(key).Hits++
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).value
 		c.mu.Unlock()
@@ -123,6 +164,7 @@ func (c *Cache) GetOrBuild(key string, build func() (value any, size int64, err 
 		return call.value, false, nil
 	}
 	c.misses++
+	c.class(key).Misses++
 	call := &buildCall{done: make(chan struct{})}
 	c.inflight[key] = call
 	c.mu.Unlock()
@@ -154,6 +196,19 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// StatsByClass returns the counters broken down by key class. The "op"
+// and "qop" rows are the assembled-operator LRU accounting: resident
+// bytes (encoded/Stats sizes, not entry counts) and cumulative evictions.
+func (c *Cache) StatsByClass() map[string]ClassStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]ClassStats, len(c.classes))
+	for name, cs := range c.classes {
+		out[name] = *cs
+	}
+	return out
 }
 
 // Stats returns current counters.

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+
+	"unstencil/internal/mesh"
+)
+
+// runOperatorJob submits one operator-scheme job, waits for it, and returns
+// its cache-hit tags and solution.
+func runOperatorJob(t *testing.T, ts *httptest.Server, meshID string) ([]string, []float64) {
+	t.Helper()
+	st, code := submitJob(t, ts, JobSpec{MeshID: meshID, Scheme: "operator", P: 2, Field: "sincos"})
+	if code != 202 {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := waitJob(t, ts, st.ID, 60*time.Second)
+	if done.State != StateDone {
+		t.Fatalf("job %s: %s (%s)", st.ID, done.State, done.Error)
+	}
+	var res struct {
+		Solution []float64 `json:"solution"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result", &res); code != 200 {
+		t.Fatalf("result: status %d", code)
+	}
+	return done.CacheHits, res.Solution
+}
+
+// TestColdStartServesOperatorFromDisk is the restart acceptance scenario:
+// incarnation one uploads a mesh and assembles an operator (written through
+// to the store); incarnation two, on the same directories with a cold
+// cache, must serve the same job from the disk artifact — reporting
+// "operator-disk", never re-assembling — with an identical solution.
+func TestColdStartServesOperatorFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	m := mesh.Structured(6)
+	cfg := Config{Workers: 2, EvalWorkers: 2, StateDir: dir}
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StateDir alone roots the store at <StateDir>/store.
+	if got, want := srv1.arts.Store().Dir(), filepath.Join(dir, "store"); got != want {
+		t.Fatalf("store dir = %q, want %q", got, want)
+	}
+	ts1 := httptest.NewServer(srv1)
+	meshID := uploadMesh(t, ts1, m)
+	hits, want := runOperatorJob(t, ts1, meshID)
+	if slices.Contains(hits, "operator") || slices.Contains(hits, "operator-disk") {
+		t.Fatalf("first-ever operator job reported warm hits: %v", hits)
+	}
+	opKey := OpKey(meshID, 2, 4, 0) // normalized grid degree 2P, periodic
+	if !srv1.arts.Store().Has(opKey) {
+		t.Fatalf("assembled operator %q not written through to the store", opKey)
+	}
+	ts1.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Manager().Shutdown(shutdownCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation two: cold cache, same disk state.
+	srv2, ts2 := newTestServer(t, cfg)
+	hits, got := runOperatorJob(t, ts2, meshID)
+	if !slices.Contains(hits, "operator-disk") {
+		t.Fatalf("restarted operator job hits = %v, want operator-disk", hits)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d points after restart vs %d before", len(got), len(want))
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-12 {
+			t.Fatalf("point %d: %v after restart vs %v before (diff %.3e)", i, got[i], want[i], d)
+		}
+	}
+	if hit := srv2.arts.Store().Counters().Snapshot().DiskHits; hit < 1 {
+		t.Errorf("disk hits = %d, want >= 1", hit)
+	}
+
+	// The metrics endpoint exposes the store and per-class cache accounting.
+	var metrics struct {
+		Store struct {
+			DiskHits uint64 `json:"disk_hits"`
+		} `json:"store"`
+		CacheClasses map[string]ClassStats `json:"cache_classes"`
+	}
+	if code := getJSON(t, ts2.URL+"/debug/metrics", &metrics); code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if metrics.Store.DiskHits < 1 {
+		t.Error("metrics store.disk_hits < 1 after a disk-served job")
+	}
+	op, ok := metrics.CacheClasses["op"]
+	if !ok || op.Bytes <= 0 || op.Entries != 1 {
+		t.Errorf("cache_classes[op] = %+v, want 1 resident entry with bytes > 0", op)
+	}
+}
+
+// TestStoreDirWithoutStateDir: -store-dir alone enables artifact
+// persistence (warm restarts) without journaling, and an explicit StoreDir
+// wins over the StateDir default.
+func TestStoreDirWithoutStateDir(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "artifacts")
+	cfg := Config{Workers: 1, EvalWorkers: 1, StoreDir: storeDir}
+
+	srv1, ts1 := newTestServer(t, cfg)
+	if srv1.journal != nil {
+		t.Fatal("StoreDir alone opened a journal")
+	}
+	if got := srv1.arts.Store().Dir(); got != storeDir {
+		t.Fatalf("store dir = %q, want %q", got, storeDir)
+	}
+	meshID := uploadMesh(t, ts1, mesh.Structured(4))
+	_, want := runOperatorJob(t, ts1, meshID)
+
+	srv2, ts2 := newTestServer(t, Config{Workers: 1, EvalWorkers: 1,
+		StoreDir: storeDir, StateDir: t.TempDir()})
+	// Explicit StoreDir beats the <StateDir>/store default.
+	if got := srv2.arts.Store().Dir(); got != storeDir {
+		t.Fatalf("store dir = %q, want explicit %q", got, storeDir)
+	}
+	hits, got := runOperatorJob(t, ts2, meshID)
+	if !slices.Contains(hits, "operator-disk") {
+		t.Fatalf("hits = %v, want operator-disk", hits)
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-12 {
+			t.Fatalf("point %d differs by %.3e across incarnations", i, d)
+		}
+	}
+}

@@ -829,13 +829,19 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 			}
 		case core.Assembled:
 			// The operator is field-independent, so a job on a new field
-			// against a warm mesh hits here and skips all geometry.
-			op, hit, err = m.arts.Operator(ev, spec.MeshID)
+			// against a warm mesh hits here and skips all geometry; after a
+			// restart the disk tier answers instead and the job reports
+			// "operator-disk".
+			var src string
+			op, src, err = m.arts.Operator(ev, spec.MeshID)
 			if err != nil {
 				return err
 			}
-			if hit {
+			switch src {
+			case OpSrcMemory:
 				hits = append(hits, "operator")
+			case OpSrcDisk:
+				hits = append(hits, "operator-disk")
 			}
 		}
 		return nil

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"unstencil/internal/artifact"
 	"unstencil/internal/mesh"
 )
 
@@ -102,11 +103,13 @@ func TestCrashRecoveryReplaysJobs(t *testing.T) {
 	dir := t.TempDir()
 	m := mesh.Structured(4)
 
-	store, err := NewMeshStore(dir)
+	// Persist the mesh exactly where a server with StateDir=dir keeps its
+	// artifact store, so replay can reload it after the "crash".
+	store, err := artifact.NewStore(filepath.Join(dir, "store"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	meshID, err := store.Save(m)
+	meshID, err := store.SaveMesh(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,46 +211,57 @@ func TestReplayDropsUnrecoverableJob(t *testing.T) {
 	}
 }
 
-// TestMeshStoreIntegrity: a stored mesh round-trips; a corrupted file is
-// rejected on load rather than silently served.
+// TestMeshStoreIntegrity: a stored mesh round-trips through the artifact
+// store; a file substituted with a different mesh's bytes is rejected on
+// load rather than silently served for the wrong content hash.
 func TestMeshStoreIntegrity(t *testing.T) {
 	dir := t.TempDir()
-	store, err := NewMeshStore(dir)
+	store, err := artifact.NewStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := mesh.Structured(4)
-	id, err := store.Save(m)
+	id, err := store.SaveMesh(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !store.Has(id) {
+	if !store.Has("mesh:" + id) {
 		t.Fatal("saved mesh not found on disk")
 	}
-	got, err := store.Load(id)
+	got, err := store.LoadMesh(id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.ContentHash() != id {
 		t.Fatalf("round-trip hash %s != %s", got.ContentHash(), id)
 	}
-	if _, err := store.Load("missing"); err == nil {
+	if _, err := store.LoadMesh("missing"); err == nil {
 		t.Error("loading a missing mesh succeeded")
 	}
 
-	// Corrupt the stored bytes: Load must refuse.
+	// Substitute the stored artifact with a different mesh saved under its
+	// own key: loading id must refuse (stored key/hash belong to the other
+	// mesh), and the bad file must be deleted so a re-upload repairs it.
 	other := mesh.Structured(6)
-	path := filepath.Join(dir, "mesh-"+id+".json")
-	f, err := os.Create(path)
+	otherID, err := store.SaveMesh(other)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mesh.Encode(f, other); err != nil {
+	data, err := os.ReadFile(store.Path("mesh:" + otherID))
+	if err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
-	if _, err := store.Load(id); err == nil || !strings.Contains(err.Error(), "mismatch") {
-		t.Fatalf("tampered mesh load err = %v, want hash mismatch", err)
+	if err := os.WriteFile(store.Path("mesh:"+id), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.LoadMesh(id); err == nil {
+		t.Fatal("substituted mesh load succeeded, want key mismatch")
+	}
+	if store.Has("mesh:" + id) {
+		t.Error("rejected artifact left on disk")
+	}
+	if got := store.Counters().Snapshot().CorruptRejected; got != 1 {
+		t.Errorf("corrupt_rejected = %d, want 1", got)
 	}
 }
 

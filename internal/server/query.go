@@ -129,7 +129,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	)
 	start := time.Now()
 	if req.UseOperator {
-		op, opHit, err := s.arts.QueryOperator(ev, req.MeshID, pts)
+		op, opSrc, err := s.arts.QueryOperator(ev, req.MeshID, pts)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "query operator assembly: %v", err)
 			return
@@ -140,7 +140,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		counters = op.ApplyCounters()
-		resp["operator_warm"] = opHit
+		resp["operator_warm"] = opSrc != OpSrcAssembled
+		resp["operator_source"] = opSrc
 	} else {
 		vals, counters, err = ev.EvalBatch(pts, req.Workers)
 		if err != nil {

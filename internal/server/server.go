@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime/debug"
 	"time"
 
+	"unstencil/internal/artifact"
 	"unstencil/internal/fault"
 	"unstencil/internal/mesh"
 	"unstencil/internal/metrics"
@@ -59,6 +61,12 @@ type Config struct {
 	// in a fsynced journal and uploaded meshes persisted to disk, and on
 	// startup incomplete jobs are re-enqueued. Empty disables durability.
 	StateDir string
+	// StoreDir roots the persistent artifact store (meshes, assembled
+	// operators). Precedence: an explicit StoreDir wins; otherwise, with
+	// StateDir set, the store lives at <StateDir>/store so journal replay
+	// re-uses disk-resident artifacts; with neither set there is no disk
+	// tier. StoreDir alone enables artifact persistence without journaling.
+	StoreDir string
 	// StageTimeout caps each pipeline stage (artifact build, evaluation)
 	// separately; 0 means the job timeout.
 	StageTimeout time.Duration
@@ -86,14 +94,15 @@ func (c *Config) defaults() {
 
 // Server is the unstencild HTTP handler plus its resident state.
 type Server struct {
-	cfg     Config
-	arts    *Artifacts
-	mgr     *Manager
-	journal *Journal
-	faults  *metrics.FaultCounters
-	log     *slog.Logger
-	start   time.Time
-	handler http.Handler
+	cfg      Config
+	arts     *Artifacts
+	mgr      *Manager
+	journal  *Journal
+	faults   *metrics.FaultCounters
+	storeCtr metrics.StoreCounters
+	log      *slog.Logger
+	start    time.Time
+	handler  http.Handler
 }
 
 // New assembles the artifact cache, job manager and routes. With
@@ -109,13 +118,21 @@ func New(cfg Config) (*Server, error) {
 		log:    cfg.Log,
 		start:  time.Now(),
 	}
-	var pending []PendingJob
-	if cfg.StateDir != "" {
-		store, err := NewMeshStore(cfg.StateDir)
+	s.arts.SetLog(cfg.Log)
+	storeDir := cfg.StoreDir
+	if storeDir == "" && cfg.StateDir != "" {
+		storeDir = filepath.Join(cfg.StateDir, "store")
+	}
+	if storeDir != "" {
+		store, err := artifact.NewStore(storeDir, &s.storeCtr)
 		if err != nil {
 			return nil, err
 		}
 		s.arts.SetStore(store)
+	}
+	var pending []PendingJob
+	if cfg.StateDir != "" {
+		var err error
 		s.journal, pending, err = OpenJournal(cfg.StateDir)
 		if err != nil {
 			return nil, err
@@ -402,8 +419,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"jobs":           s.mgr.StateCounts(),
 		"cache":          cache,
 		"cache_hit_rate": cache.HitRate(),
-		"schemes":        s.mgr.Totals(),
-		"faults":         s.faults.Snapshot(),
+		// Per-class residency: the "op"/"qop" rows are the assembled-operator
+		// LRU accounting (resident bytes, cumulative evictions).
+		"cache_classes": s.arts.cache.StatsByClass(),
+		"schemes":       s.mgr.Totals(),
+		"faults":        s.faults.Snapshot(),
+	}
+	if st := s.arts.Store(); st != nil {
+		body["store"] = st.Counters().Snapshot()
+		body["store_dir"] = st.Dir()
 	}
 	if fault.Enabled() {
 		body["fault_injection"] = fault.Stats()
