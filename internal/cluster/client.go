@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"unstencil/internal/fault"
+	"unstencil/internal/metrics"
+	"unstencil/internal/server"
+)
+
+// SiteRoute fires at the top of every shard request attempt, so a
+// -fault-spec campaign on the coordinator deterministically exercises the
+// retry, failover and degradation paths without touching the shards.
+const SiteRoute = "cluster.route"
+
+// MaxRetryAfter caps how long the client honors a shard's Retry-After
+// header. The shard derives the value from its observed service time, so
+// it is normally small; the cap bounds the damage of a pathological
+// advertisement.
+const MaxRetryAfter = 5 * time.Second
+
+// ErrorKindShardFailure tags job errors caused by a shard staying down
+// past its retry and failover budget, so clients can distinguish "your
+// request was wrong" from "the cluster lost capacity".
+const ErrorKindShardFailure = "shard-failure"
+
+// ShardError means one shard exhausted the client's retry budget. It is
+// the unit the router reacts to: fail over to a ring successor, or — past
+// the failover budget — degrade or fail the job with ErrorKindShardFailure.
+type ShardError struct {
+	Shard    string
+	Status   int // last HTTP status; 0 for a transport-level failure
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %s failed after %d attempt(s) (last status %d): %v",
+		e.Shard, e.Attempts, e.Status, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// remoteError is a non-2xx response that should not be retried against the
+// same shard (4xx: the request itself is wrong, or the resource is absent).
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("shard returned %d: %s", e.status, e.msg)
+}
+
+// IsNotFound reports whether err is a shard 404 — for mesh-scoped requests
+// that is "mesh not resident", the coordinator's cue to re-seed the shard
+// from its retained mesh bytes and retry.
+func IsNotFound(err error) bool {
+	var re *remoteError
+	return errors.As(err, &re) && re.status == http.StatusNotFound
+}
+
+// RemoteStatus returns the HTTP status a remoteError carries (0 otherwise).
+func RemoteStatus(err error) int {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.status
+	}
+	return 0
+}
+
+// Client is the coordinator's HTTP client for one shard request with
+// retries: transport errors and 5xx responses retry with capped
+// exponential backoff and deterministic jitter; a 503 carrying Retry-After
+// honors the shard's own estimate instead of the blind backoff; 4xx
+// responses are permanent. The retry budget is per shard — cross-shard
+// failover is the router's job, not the client's.
+type Client struct {
+	hc       *http.Client
+	retry    server.RetryPolicy
+	counters *metrics.ClusterCounters
+	log      *slog.Logger
+}
+
+// NewClient builds a client. hc nil gets a default with the given request
+// timeout; retry is defaulted per server.RetryPolicy (Attempts floor 1).
+func NewClient(hc *http.Client, timeout time.Duration, retry server.RetryPolicy, counters *metrics.ClusterCounters, log *slog.Logger) *Client {
+	if hc == nil {
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		hc = &http.Client{Timeout: timeout}
+	}
+	if retry.Attempts < 1 {
+		retry.Attempts = 1
+	}
+	if retry.Base <= 0 {
+		retry.Base = 10 * time.Millisecond
+	}
+	if retry.Max <= 0 {
+		retry.Max = 500 * time.Millisecond
+	}
+	if counters == nil {
+		counters = &metrics.ClusterCounters{}
+	}
+	return &Client{hc: hc, retry: retry, counters: counters, log: log}
+}
+
+// PostJSON marshals body, POSTs it to shard+path and decodes the JSON
+// response into out (which may be nil). GetJSON is the bodyless variant.
+func (c *Client) PostJSON(ctx context.Context, shard, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, shard, path, raw, out)
+}
+
+// PostRaw POSTs a pre-encoded payload (mesh bytes) to shard+path.
+func (c *Client) PostRaw(ctx context.Context, shard, path string, body []byte, out any) error {
+	return c.do(ctx, http.MethodPost, shard, path, body, out)
+}
+
+// GetJSON GETs shard+path and decodes the JSON response into out.
+func (c *Client) GetJSON(ctx context.Context, shard, path string, out any) error {
+	return c.do(ctx, http.MethodGet, shard, path, nil, out)
+}
+
+// do is one logical shard request under the retry policy.
+func (c *Client) do(ctx context.Context, method, shard, path string, body []byte, out any) error {
+	var (
+		lastErr    error
+		lastStatus int
+	)
+	for attempt := 1; attempt <= c.retry.Attempts; attempt++ {
+		if attempt > 1 {
+			c.counters.Retries.Add(1)
+			if err := sleepCtx(ctx, c.backoff(shard, path, attempt-1, lastErr)); err != nil {
+				break
+			}
+		}
+		status, err := c.once(ctx, method, shard, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr, lastStatus = err, status
+		if !retryable(err, status) {
+			return err
+		}
+		if c.log != nil {
+			c.log.Warn("shard request failed",
+				"shard", shard, "path", path, "attempt", attempt, "status", status, "err", err)
+		}
+	}
+	se := &ShardError{Shard: shard, Status: lastStatus, Attempts: c.retry.Attempts, Err: lastErr}
+	c.counters.ShardFailures.Add(1)
+	return se
+}
+
+// once performs a single HTTP attempt. The returned status is 0 for
+// transport-level failures.
+func (c *Client) once(ctx context.Context, method, shard, path string, body []byte, out any) (int, error) {
+	if err := fault.Inject(SiteRoute); err != nil {
+		return 0, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, shard+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.counters.ShardRequests.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg := readErrorBody(resp.Body)
+		err := error(&remoteError{status: resp.StatusCode, msg: msg})
+		if resp.StatusCode/100 == 5 {
+			// 5xx is transient from the router's perspective; wrap it so
+			// retryable() treats it as such while keeping the status visible.
+			err = &transientRemote{remoteError{status: resp.StatusCode, msg: msg}, retryAfter(resp)}
+		}
+		return resp.StatusCode, err
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decoding shard response: %w", err)
+	}
+	return resp.StatusCode, nil
+}
+
+// transientRemote is a retryable non-2xx response (5xx), optionally
+// carrying the shard's Retry-After estimate.
+type transientRemote struct {
+	remoteError
+	retryAfter time.Duration // 0 when the header was absent
+}
+
+// Unwrap exposes the remoteError to errors.As (RemoteStatus, IsNotFound).
+func (e *transientRemote) Unwrap() error { return &e.remoteError }
+
+// retryAfter parses a delay-seconds Retry-After header, capped at
+// MaxRetryAfter; 0 when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return min(time.Duration(secs)*time.Second, MaxRetryAfter)
+}
+
+// retryable reports whether the failed attempt may be retried against the
+// same shard: transport errors and 5xx yes, context expiry and 4xx no.
+func retryable(err error, status int) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var re *remoteError
+	if errors.As(err, &re) {
+		return status/100 == 5
+	}
+	return true // transport-level failure
+}
+
+// backoff is the pre-retry delay for retry r (1-based) against shard+path.
+// A Retry-After estimate from the previous attempt wins outright — the
+// shard knows its own queue better than our exponential guess. Otherwise
+// Base·2^(r-1) capped at Max, scaled by a deterministic jitter in [0.5, 1)
+// derived from (shard, path, r) so concurrent retries against one shard
+// de-synchronize identically on every run.
+func (c *Client) backoff(shard, path string, r int, lastErr error) time.Duration {
+	var tr *transientRemote
+	if errors.As(lastErr, &tr) && tr.retryAfter > 0 {
+		c.counters.RetryAfterWaits.Add(1)
+		return tr.retryAfter
+	}
+	d := c.retry.Base << uint(min(r-1, 16))
+	if d > c.retry.Max || d <= 0 {
+		d = c.retry.Max
+	}
+	seed := hash64(shard+path) ^ uint64(r)
+	f := 0.5 + 0.5*float64(fault.Mix64(seed)>>11)/(1<<53)
+	return time.Duration(float64(d) * f)
+}
+
+// readErrorBody extracts the server's JSON error envelope ({"error": ...})
+// or falls back to the raw body, truncated.
+func readErrorBody(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil || len(raw) == 0 {
+		return ""
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return body.Error
+	}
+	return string(raw)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,692 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+	"unstencil/internal/server"
+	"unstencil/internal/tile"
+)
+
+// flakyShard wraps a shard handler with a kill switch and a latency knob:
+// down aborts the connection (the coordinator sees a transport error, as
+// with a dead process), slowMS delays every response (for hedging tests).
+// The inner handler is swappable so a "restarted" shard — a fresh stateless
+// server.New behind the same URL — can take over the address.
+type flakyShard struct {
+	mu      sync.Mutex
+	handler http.Handler
+	down    atomic.Bool
+	slowMS  atomic.Int64
+}
+
+func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if d := f.slowMS.Load(); d > 0 {
+		time.Sleep(time.Duration(d) * time.Millisecond)
+	}
+	f.mu.Lock()
+	h := f.handler
+	f.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (f *flakyShard) swap(h http.Handler) {
+	f.mu.Lock()
+	f.handler = h
+	f.mu.Unlock()
+}
+
+func newShard(t *testing.T) (*flakyShard, *httptest.Server) {
+	t.Helper()
+	srv := newShardServer(t)
+	fs := &flakyShard{handler: srv}
+	ts := httptest.NewServer(fs)
+	t.Cleanup(ts.Close)
+	return fs, ts
+}
+
+func newShardServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{Workers: 1, EvalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// newCluster builds a coordinator over the given shard URLs. Health is
+// probed synchronously in New and afterwards only via CheckNow — tests
+// never depend on poll timing.
+func newCluster(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Retry.Attempts == 0 {
+		cfg.Retry = server.RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond}
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	ts := httptest.NewServer(co)
+	t.Cleanup(ts.Close)
+	return co, ts
+}
+
+func encodeMesh(t *testing.T, m *mesh.Mesh) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mesh.Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postJSON(t *testing.T, url string, req any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		raw, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(raw, out); err != nil && resp.StatusCode < 300 {
+			t.Fatalf("decode %s: %v (%s)", url, err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		raw, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(raw, out); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatalf("decode %s: %v (%s)", url, err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+func uploadMesh(t *testing.T, coURL string, m *mesh.Mesh) string {
+	t.Helper()
+	resp, err := http.Post(coURL+"/v1/meshes", "application/octet-stream",
+		bytes.NewReader(encodeMesh(t, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("mesh upload: status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		MeshID       string   `json:"mesh_id"`
+		ShardsSeeded []string `json:"shards_seeded"`
+		ShardsFailed []string `json:"shards_failed"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ShardsFailed) != 0 {
+		t.Fatalf("mesh fan-out failed on %v", out.ShardsFailed)
+	}
+	return out.MeshID
+}
+
+func waitClusterJob(t *testing.T, coURL, id string, deadline time.Duration) JobView {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		var v JobView
+		if code := getJSON(t, coURL+"/v1/jobs/"+id, &v); code != http.StatusOK {
+			t.Fatalf("job %s status code %d", id, code)
+		}
+		if v.State == server.StateDone || v.State == server.StateFailed {
+			return v
+		}
+		if time.Now().After(end) {
+			t.Fatalf("job %s still %s after %v", id, v.State, deadline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// localRef reproduces exactly the artifact recipe the shards use, giving
+// the single-process reference a distributed run must match bit for bit.
+func localRef(t *testing.T, m *mesh.Mesh, p int, b core.Boundary, k int) (*tile.Tiling, []float64) {
+	t.Helper()
+	f := dg.Project(m, p, server.FieldFuncs["sincos"], 4)
+	ev, err := core.NewEvaluator(f, core.Options{P: p, Boundary: b, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := ev.NewTiling(k)
+	res, err := ev.RunPerElement(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, res.Solution
+}
+
+type resultBody struct {
+	JobID              string         `json:"job_id"`
+	NumPoints          int            `json:"num_points"`
+	Solution           []float64      `json:"solution"`
+	Shards             []string       `json:"shards"`
+	Degraded           bool           `json:"degraded"`
+	Coverage           *core.Coverage `json:"coverage"`
+	UncoveredIDs       []int32        `json:"uncovered_ids"`
+	UncoveredTruncated bool           `json:"uncovered_truncated"`
+	ErrorKind          string         `json:"error_kind"`
+}
+
+// TestClusterBitIdentical: a two-shard distributed per-element run merges
+// to exactly — max_diff zero, not small — the single-process solution, for
+// P1 and P2 under both boundary treatments.
+func TestClusterBitIdentical(t *testing.T) {
+	_, tsA := newShard(t)
+	_, tsB := newShard(t)
+	co, cts := newCluster(t, Config{Shards: []string{tsA.URL, tsB.URL}})
+	m := mesh.Structured(12)
+	meshID := uploadMesh(t, cts.URL, m)
+	const k = 7
+
+	for _, tc := range []struct {
+		p        int
+		boundary string
+		b        core.Boundary
+	}{
+		{1, "periodic", core.Periodic},
+		{2, "periodic", core.Periodic},
+		{1, "one-sided", core.OneSided},
+		{2, "one-sided", core.OneSided},
+	} {
+		spec := server.JobSpec{
+			MeshID: meshID, Scheme: "per-element", P: tc.p, Blocks: k, Boundary: tc.boundary,
+		}
+		var v JobView
+		if code := postJSON(t, cts.URL+"/v1/jobs", spec, &v); code != http.StatusAccepted {
+			t.Fatalf("P%d %s: submit status %d", tc.p, tc.boundary, code)
+		}
+		if v.Kind != KindDistributed {
+			t.Fatalf("per-element job kind %q, want distributed", v.Kind)
+		}
+		v = waitClusterJob(t, cts.URL, v.ID, 120*time.Second)
+		if v.State != server.StateDone {
+			t.Fatalf("P%d %s: state %s err %q", tc.p, tc.boundary, v.State, v.Error)
+		}
+		if v.Degraded {
+			t.Fatalf("P%d %s: degraded with both shards up", tc.p, tc.boundary)
+		}
+		if len(v.Shards) != 2 {
+			t.Errorf("P%d %s: %v contributed, want both shards", tc.p, tc.boundary, v.Shards)
+		}
+		var res resultBody
+		if code := getJSON(t, cts.URL+"/v1/jobs/"+v.ID+"/result", &res); code != http.StatusOK {
+			t.Fatalf("result status %d", code)
+		}
+		_, ref := localRef(t, m, tc.p, tc.b, k)
+		if len(res.Solution) != len(ref) {
+			t.Fatalf("P%d %s: %d points, want %d", tc.p, tc.boundary, len(res.Solution), len(ref))
+		}
+		for i := range ref {
+			if res.Solution[i] != ref[i] {
+				t.Fatalf("P%d %s: point %d: cluster %v != local %v (must be bit-identical)",
+					tc.p, tc.boundary, i, res.Solution[i], ref[i])
+			}
+		}
+	}
+	snap := co.Counters().Snapshot()
+	if snap.JobsDistributed != 4 {
+		t.Errorf("jobs_distributed = %d, want 4", snap.JobsDistributed)
+	}
+	if snap.MeshFanouts != 1 {
+		t.Errorf("mesh_fanouts = %d, want 1", snap.MeshFanouts)
+	}
+}
+
+// TestClusterFailoverHealsShardLoss: with failover enabled (the default),
+// killing a shard mid-cluster does not degrade results — its patch range
+// moves to the ring successor and the merge stays bit-identical and at
+// full coverage. The dead shard is marked Down, and a recovered shard is
+// routable again after the next health pass.
+func TestClusterFailoverHealsShardLoss(t *testing.T) {
+	fsA, tsA := newShard(t)
+	fsB, tsB := newShard(t)
+	shards := []string{tsA.URL, tsB.URL}
+	co, cts := newCluster(t, Config{Shards: shards})
+	m := mesh.Structured(12)
+	meshID := uploadMesh(t, cts.URL, m)
+	const k = 8
+
+	ring, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimURL := ring.Order(meshID)[1]
+	victim := fsB
+	if victimURL == tsA.URL {
+		victim = fsA
+	}
+	victim.down.Store(true)
+
+	spec := server.JobSpec{MeshID: meshID, Scheme: "per-element", P: 1, Blocks: k}
+	var v JobView
+	if code := postJSON(t, cts.URL+"/v1/jobs", spec, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	v = waitClusterJob(t, cts.URL, v.ID, 120*time.Second)
+	if v.State != server.StateDone {
+		t.Fatalf("job with failover: state %s err %q", v.State, v.Error)
+	}
+	if v.Degraded {
+		t.Fatal("failover available but job degraded")
+	}
+	var res resultBody
+	if code := getJSON(t, cts.URL+"/v1/jobs/"+v.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	_, ref := localRef(t, m, 1, core.Periodic, k)
+	for i := range ref {
+		if res.Solution[i] != ref[i] {
+			t.Fatalf("point %d: failed-over %v != local %v", i, res.Solution[i], ref[i])
+		}
+	}
+	snap := co.Counters().Snapshot()
+	if snap.Failovers == 0 {
+		t.Error("no failover counted though a shard was dead")
+	}
+	if snap.ShardFailures == 0 {
+		t.Error("no shard failure counted though a shard was dead")
+	}
+	if st := co.Health().State(victimURL); st != StateDown {
+		t.Errorf("dead shard state %s, want down", st)
+	}
+
+	// Recovery: the shard comes back, the next health pass restores it, and
+	// — the static-ring property — it owns its old keyspace again.
+	victim.down.Store(false)
+	co.Health().CheckNow()
+	if st := co.Health().State(victimURL); st != StateReady {
+		t.Errorf("recovered shard state %s, want ready", st)
+	}
+	if order := co.routable(meshID); len(order) != 2 || order[1] != victimURL {
+		t.Errorf("recovered shard did not reclaim its succession slot: %v", order)
+	}
+}
+
+// TestClusterDegradedShardLoss is the degradation drill: failover disabled
+// (FailoverAttempts < 0), one shard killed. An allow_partial job completes
+// with coverage < 1 and exactly the uncovered points the deterministic
+// tiling predicts for the lost patch range; a job without allow_partial
+// fails with the typed shard-failure error; and after the shard restarts
+// — stateless, healing through the mesh re-seed protocol — the same job
+// recovers bit-identical full coverage.
+func TestClusterDegradedShardLoss(t *testing.T) {
+	fsA, tsA := newShard(t)
+	fsB, tsB := newShard(t)
+	shards := []string{tsA.URL, tsB.URL}
+	co, cts := newCluster(t, Config{
+		Shards:           shards,
+		FailoverAttempts: -1,
+		HealthThreshold:  1,
+	})
+	m := mesh.Structured(12)
+	meshID := uploadMesh(t, cts.URL, m)
+	const k = 8
+
+	ring, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ring.Order(meshID)
+	victimURL := order[1]
+	victim := fsB
+	if victimURL == tsA.URL {
+		victim = fsA
+	}
+	lostPatches := splitPatches(order, k)[1].patches
+	tl, ref := localRef(t, m, 1, core.Periodic, k)
+	wantUncov := tl.UncoveredIDs(lostPatches)
+
+	// Phase 1: shard dead, allow_partial — degraded completion with honest
+	// coverage accounting.
+	victim.down.Store(true)
+	spec := server.JobSpec{MeshID: meshID, Scheme: "per-element", P: 1, Blocks: k, AllowPartial: true}
+	var v JobView
+	if code := postJSON(t, cts.URL+"/v1/jobs", spec, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	v = waitClusterJob(t, cts.URL, v.ID, 120*time.Second)
+	if v.State != server.StateDone {
+		t.Fatalf("allow_partial under shard loss: state %s err %q", v.State, v.Error)
+	}
+	if !v.Degraded || v.Coverage == nil {
+		t.Fatalf("shard dead but job not degraded: %+v", v)
+	}
+	cov := v.Coverage
+	if len(cov.FailedUnits) != len(lostPatches) {
+		t.Fatalf("failed units %v, want the lost range %v", cov.FailedUnits, lostPatches)
+	}
+	for i, p := range cov.FailedUnits {
+		if p != lostPatches[i] {
+			t.Fatalf("failed units %v, want %v", cov.FailedUnits, lostPatches)
+		}
+	}
+	if cov.CoveredPoints >= cov.TotalPoints {
+		t.Fatalf("coverage %d/%d not < 1 with a dead shard", cov.CoveredPoints, cov.TotalPoints)
+	}
+	if cov.TotalPoints != tl.NumPoints || cov.CoveredPoints != tl.NumPoints-len(wantUncov) {
+		t.Fatalf("coverage %d/%d, tiling says %d/%d",
+			cov.CoveredPoints, cov.TotalPoints, tl.NumPoints-len(wantUncov), tl.NumPoints)
+	}
+	var res resultBody
+	if code := getJSON(t, cts.URL+"/v1/jobs/"+v.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if len(res.UncoveredIDs) != len(wantUncov) {
+		t.Fatalf("%d uncovered ids, tiling says %d", len(res.UncoveredIDs), len(wantUncov))
+	}
+	uncov := map[int32]bool{}
+	for i, pt := range res.UncoveredIDs {
+		if pt != wantUncov[i] {
+			t.Fatalf("uncovered id %d: %d != %d", i, pt, wantUncov[i])
+		}
+		uncov[pt] = true
+	}
+	// Covered points carry full sums (bit-identical); uncovered points are
+	// deterministically zeroed, never half-summed.
+	for i := range ref {
+		if uncov[int32(i)] {
+			if res.Solution[i] != 0 {
+				t.Fatalf("uncovered point %d carries partial sum %v, want 0", i, res.Solution[i])
+			}
+		} else if res.Solution[i] != ref[i] {
+			t.Fatalf("covered point %d: degraded %v != local %v", i, res.Solution[i], ref[i])
+		}
+	}
+	snap := co.Counters().Snapshot()
+	if snap.DegradedJobs == 0 || snap.CoverageProbes == 0 {
+		t.Errorf("degraded path not counted: %+v", snap)
+	}
+
+	// Phase 2: same outage, allow_partial off — typed failure, no result.
+	victim.down.Store(false)
+	co.Health().CheckNow() // shard briefly back: Ready again
+	victim.down.Store(true)
+	spec.AllowPartial = false
+	if code := postJSON(t, cts.URL+"/v1/jobs", spec, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	v = waitClusterJob(t, cts.URL, v.ID, 120*time.Second)
+	if v.State != server.StateFailed {
+		t.Fatalf("non-partial job under shard loss: state %s, want failed", v.State)
+	}
+	if v.ErrorKind != ErrorKindShardFailure {
+		t.Fatalf("error kind %q, want %q", v.ErrorKind, ErrorKindShardFailure)
+	}
+	var fres resultBody
+	if code := getJSON(t, cts.URL+"/v1/jobs/"+v.ID+"/result", &fres); code != http.StatusConflict {
+		t.Fatalf("failed job result status %d, want 409", code)
+	}
+	if fres.ErrorKind != ErrorKindShardFailure {
+		t.Fatalf("result error kind %q, want %q", fres.ErrorKind, ErrorKindShardFailure)
+	}
+
+	// Phase 3: the victim restarts as a fresh stateless process on the same
+	// address — no mesh resident. The re-seed protocol heals it on first
+	// use and the job recovers bit-identical full coverage.
+	victim.swap(newShardServer(t))
+	victim.down.Store(false)
+	co.Health().CheckNow()
+	if st := co.Health().State(victimURL); st != StateReady {
+		t.Fatalf("restarted shard state %s, want ready", st)
+	}
+	if code := postJSON(t, cts.URL+"/v1/jobs", spec, &v); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	v = waitClusterJob(t, cts.URL, v.ID, 120*time.Second)
+	if v.State != server.StateDone || v.Degraded {
+		t.Fatalf("post-restart job: state %s degraded %v err %q", v.State, v.Degraded, v.Error)
+	}
+	res = resultBody{}
+	if code := getJSON(t, cts.URL+"/v1/jobs/"+v.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	for i := range ref {
+		if res.Solution[i] != ref[i] {
+			t.Fatalf("post-restart point %d: %v != local %v (must be bit-identical)",
+				i, res.Solution[i], ref[i])
+		}
+	}
+	snap = co.Counters().Snapshot()
+	if snap.MeshReseeds == 0 {
+		t.Error("restarted stateless shard served without a mesh re-seed")
+	}
+	if snap.ShardFailures == 0 {
+		t.Error("no shard failures counted across the drill")
+	}
+}
+
+// TestClusterQueryRoutingAndHedging: /v1/query routes to the mesh's home
+// shard; a slow primary loses the race to a hedged replica; a dead primary
+// fails over. All paths return identical values.
+func TestClusterQueryRoutingAndHedging(t *testing.T) {
+	fsA, tsA := newShard(t)
+	fsB, tsB := newShard(t)
+	shards := []string{tsA.URL, tsB.URL}
+	co, cts := newCluster(t, Config{Shards: shards, HedgeDelay: 2 * time.Millisecond})
+	m := mesh.Structured(8)
+	meshID := uploadMesh(t, cts.URL, m)
+
+	query := map[string]any{
+		"mesh_id": meshID,
+		"p":       1,
+		"points":  [][2]float64{{0.2, 0.3}, {0.5, 0.5}, {0.8, 0.1}},
+	}
+	type queryResp struct {
+		Values []float64 `json:"values"`
+		Shard  string    `json:"shard"`
+	}
+	var first queryResp
+	if code := postJSON(t, cts.URL+"/v1/query", query, &first); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	if len(first.Values) != 3 {
+		t.Fatalf("%d values, want 3", len(first.Values))
+	}
+	owner := first.Shard
+
+	// Slow primary: the hedge fires and the replica's answer wins.
+	slow := fsA
+	if owner == tsB.URL {
+		slow = fsB
+	}
+	slow.slowMS.Store(500)
+	var hedged queryResp
+	if code := postJSON(t, cts.URL+"/v1/query", query, &hedged); code != http.StatusOK {
+		t.Fatalf("hedged query status %d", code)
+	}
+	if hedged.Shard == owner {
+		t.Errorf("hedged query answered by the slow primary %s", hedged.Shard)
+	}
+	for i := range first.Values {
+		if hedged.Values[i] != first.Values[i] {
+			t.Fatalf("value %d: hedged %v != primary %v", i, hedged.Values[i], first.Values[i])
+		}
+	}
+	snap := co.Counters().Snapshot()
+	if snap.Hedges == 0 || snap.HedgeWins == 0 {
+		t.Errorf("hedge not exercised: hedges=%d wins=%d", snap.Hedges, snap.HedgeWins)
+	}
+
+	// Dead primary: transport failure, retry budget burns, failover wins.
+	slow.slowMS.Store(0)
+	slow.down.Store(true)
+	var failedOver queryResp
+	if code := postJSON(t, cts.URL+"/v1/query", query, &failedOver); code != http.StatusOK {
+		t.Fatalf("failover query status %d", code)
+	}
+	if failedOver.Shard == owner {
+		t.Errorf("failover query answered by the dead primary")
+	}
+	for i := range first.Values {
+		if failedOver.Values[i] != first.Values[i] {
+			t.Fatalf("value %d: failover %v != primary %v", i, failedOver.Values[i], first.Values[i])
+		}
+	}
+	if snap = co.Counters().Snapshot(); snap.Retries == 0 {
+		t.Error("dead-shard query burned no retries")
+	}
+}
+
+// TestClusterRoutedJob: non-per-element jobs run whole on the mesh's home
+// shard, with the coordinator rewriting shard-local ids to cluster ids on
+// every proxied view.
+func TestClusterRoutedJob(t *testing.T) {
+	_, tsA := newShard(t)
+	_, tsB := newShard(t)
+	co, cts := newCluster(t, Config{Shards: []string{tsA.URL, tsB.URL}})
+	m := mesh.Structured(8)
+	meshID := uploadMesh(t, cts.URL, m)
+
+	spec := server.JobSpec{MeshID: meshID, Scheme: "per-point", P: 1, Blocks: 4}
+	var sub struct {
+		ID    string `json:"id"`
+		Kind  string `json:"kind"`
+		Shard string `json:"shard"`
+	}
+	if code := postJSON(t, cts.URL+"/v1/jobs", spec, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if sub.Kind != string(KindRouted) || sub.Shard == "" {
+		t.Fatalf("routed submission %+v", sub)
+	}
+	if sub.ID == "" {
+		t.Fatal("no cluster job id")
+	}
+	v := waitClusterJob(t, cts.URL, sub.ID, 120*time.Second)
+	if v.State != server.StateDone {
+		t.Fatalf("routed job: state %s err %q", v.State, v.Error)
+	}
+	if v.ID != sub.ID {
+		t.Fatalf("status id %q, want the cluster id %q (shard-local id leaked)", v.ID, sub.ID)
+	}
+	var res struct {
+		JobID    string    `json:"job_id"`
+		Solution []float64 `json:"solution"`
+	}
+	if code := getJSON(t, cts.URL+"/v1/jobs/"+sub.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if res.JobID != sub.ID {
+		t.Fatalf("result job id %q, want %q", res.JobID, sub.ID)
+	}
+	if len(res.Solution) == 0 {
+		t.Fatal("routed result carries no solution")
+	}
+	if snap := co.Counters().Snapshot(); snap.JobsRouted != 1 {
+		t.Errorf("jobs_routed = %d, want 1", snap.JobsRouted)
+	}
+}
+
+// TestCoordinatorReadyzAndMetrics: the coordinator is ready while any
+// shard is, and /debug/metrics exposes the routing table with per-shard
+// state and primary mesh assignments.
+func TestCoordinatorReadyzAndMetrics(t *testing.T) {
+	fsA, tsA := newShard(t)
+	fsB, tsB := newShard(t)
+	co, cts := newCluster(t, Config{
+		Shards:          []string{tsA.URL, tsB.URL},
+		HealthThreshold: 1,
+	})
+	m := mesh.Structured(8)
+	meshID := uploadMesh(t, cts.URL, m)
+
+	var rz struct {
+		Ready       bool `json:"ready"`
+		ShardsReady int  `json:"shards_ready"`
+		ShardsTotal int  `json:"shards_total"`
+	}
+	if code := getJSON(t, cts.URL+"/readyz", &rz); code != http.StatusOK {
+		t.Fatalf("readyz status %d", code)
+	}
+	if !rz.Ready || rz.ShardsReady != 2 || rz.ShardsTotal != 2 {
+		t.Fatalf("readyz %+v", rz)
+	}
+
+	// One shard down: still ready (degraded beats refusing traffic).
+	fsA.down.Store(true)
+	co.Health().CheckNow()
+	if code := getJSON(t, cts.URL+"/readyz", &rz); code != http.StatusOK || !rz.Ready {
+		t.Fatalf("one shard down: readyz %d ready=%v, want 200/true", code, rz.Ready)
+	}
+
+	// Both down: not ready.
+	fsB.down.Store(true)
+	co.Health().CheckNow()
+	if code := getJSON(t, cts.URL+"/readyz", &rz); code != http.StatusServiceUnavailable || rz.Ready {
+		t.Fatalf("all shards down: readyz %d ready=%v, want 503/false", code, rz.Ready)
+	}
+
+	fsA.down.Store(false)
+	fsB.down.Store(false)
+	co.Health().CheckNow()
+	var mt struct {
+		Cluster map[string]any `json:"cluster"`
+		Routing map[string]struct {
+			State  string   `json:"state"`
+			VNodes int      `json:"vnodes"`
+			Meshes []string `json:"meshes"`
+		} `json:"routing"`
+		Meshes int `json:"meshes"`
+	}
+	if code := getJSON(t, cts.URL+"/debug/metrics", &mt); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if len(mt.Routing) != 2 || mt.Meshes != 1 {
+		t.Fatalf("metrics routing %+v meshes %d", mt.Routing, mt.Meshes)
+	}
+	primaries := 0
+	for url, r := range mt.Routing {
+		if r.State != "ready" {
+			t.Errorf("shard %s state %q after recovery", url, r.State)
+		}
+		for _, id := range r.Meshes {
+			if id != meshID {
+				t.Errorf("shard %s routes unknown mesh %s", url, id)
+			}
+			primaries++
+		}
+	}
+	if primaries != 1 {
+		t.Errorf("%d primary assignments for 1 mesh", primaries)
+	}
+	if _, ok := mt.Cluster["mesh_fanouts"]; !ok {
+		t.Error("cluster counters missing from metrics")
+	}
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ShardState is the health checker's verdict on one shard.
+type ShardState int32
+
+const (
+	// StateUnknown means no probe has completed yet.
+	StateUnknown ShardState = iota
+	// StateReady means the shard answered /readyz with 200: startup work is
+	// done and its job queue has room. Route traffic here.
+	StateReady
+	// StateNotReady means the shard answered /readyz with a non-200 status:
+	// the process is alive (liveness holds) but asked not to receive new
+	// work — still replaying its journal, or its queue is saturated. Honest
+	// back-pressure, not a failure: do not route, do not count as down.
+	StateNotReady
+	// StateDown means probes have failed at the transport level (connection
+	// refused, timeout) for at least the failure threshold in a row.
+	StateDown
+)
+
+// String implements fmt.Stringer.
+func (s ShardState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateNotReady:
+		return "not-ready"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// ShardHealth is the JSON view of one shard's health record.
+type ShardHealth struct {
+	Shard            string `json:"shard"`
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Probes           uint64 `json:"probes"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// shardStatus is the mutable health record behind ShardHealth.
+type shardStatus struct {
+	state   ShardState
+	fails   int // consecutive transport failures
+	probes  uint64
+	lastErr string
+}
+
+// HealthChecker polls every shard's GET /readyz on a fixed interval and
+// classifies each as Ready, NotReady or Down. A single transport failure
+// does not mark a shard down — only Threshold consecutive failures do, so
+// one dropped packet cannot trigger a failover stampede. Distinguishing
+// NotReady from Down matters for routing: a saturated shard recovers by
+// itself and keeps its keyspace; a down shard's keys fail over.
+type HealthChecker struct {
+	shards    []string
+	hc        *http.Client
+	interval  time.Duration
+	threshold int
+	log       *slog.Logger
+
+	mu sync.Mutex
+	st map[string]*shardStatus
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewHealthChecker builds a checker over the shard set. interval <= 0
+// defaults to 1s, threshold <= 0 to 3.
+func NewHealthChecker(shards []string, hc *http.Client, interval time.Duration, threshold int, log *slog.Logger) *HealthChecker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	h := &HealthChecker{
+		shards:    append([]string(nil), shards...),
+		hc:        hc,
+		interval:  interval,
+		threshold: threshold,
+		log:       log,
+		st:        make(map[string]*shardStatus, len(shards)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, s := range h.shards {
+		h.st[s] = &shardStatus{state: StateUnknown}
+	}
+	return h
+}
+
+// Start launches the polling loop. Safe to call once; Stop ends it.
+func (h *HealthChecker) Start() {
+	h.startOnce.Do(func() {
+		go func() {
+			defer close(h.done)
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+					h.CheckNow()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the polling loop and waits for it to exit. Safe to call
+// without Start and safe to call twice.
+func (h *HealthChecker) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	select {
+	case <-h.done:
+	default:
+		h.startOnce.Do(func() { close(h.done) }) // never started; unblock the wait
+		<-h.done
+	}
+}
+
+// CheckNow runs one synchronous probe pass over all shards. The polling
+// loop calls it on its ticker; tests call it directly for deterministic
+// state transitions without sleeping.
+func (h *HealthChecker) CheckNow() {
+	var wg sync.WaitGroup
+	for _, shard := range h.shards {
+		wg.Add(1)
+		go func(shard string) {
+			defer wg.Done()
+			h.probe(shard)
+		}(shard)
+	}
+	wg.Wait()
+}
+
+func (h *HealthChecker) probe(shard string) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/readyz", nil)
+	if err != nil {
+		h.record(shard, StateDown, err)
+		return
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		h.record(shard, StateDown, err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		h.record(shard, StateReady, nil)
+	} else {
+		h.record(shard, StateNotReady, fmt.Errorf("readyz: %s", resp.Status))
+	}
+}
+
+// record folds one probe outcome into the shard's record. verdict is the
+// immediate classification; Down is applied only after threshold
+// consecutive transport failures (the shard keeps its previous state in
+// the interim, so a momentary blip does not reroute traffic).
+func (h *HealthChecker) record(shard string, verdict ShardState, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.st[shard]
+	if st == nil {
+		return
+	}
+	st.probes++
+	prev := st.state
+	switch verdict {
+	case StateDown:
+		st.fails++
+		st.lastErr = err.Error()
+		if st.fails >= h.threshold || prev == StateUnknown {
+			st.state = StateDown
+		}
+	case StateNotReady:
+		st.fails = 0
+		st.lastErr = err.Error()
+		st.state = StateNotReady
+	default:
+		st.fails = 0
+		st.lastErr = ""
+		st.state = StateReady
+	}
+	if st.state != prev && h.log != nil {
+		h.log.Info("shard health transition",
+			"shard", shard, "from", prev.String(), "to", st.state.String(),
+			"consecutive_fails", st.fails, "err", st.lastErr)
+	}
+}
+
+// State returns the shard's current classification (StateUnknown for a
+// shard the checker does not track).
+func (h *HealthChecker) State(shard string) ShardState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.st[shard]; ok {
+		return st.state
+	}
+	return StateUnknown
+}
+
+// MarkDown forces a shard's record to Down immediately, bypassing the
+// threshold. The router calls it when a request to the shard fails at the
+// transport level after exhausting retries — stronger evidence than a
+// missed probe, and it keeps the routing table honest between probe ticks.
+func (h *HealthChecker) MarkDown(shard string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.st[shard]
+	if st == nil {
+		return
+	}
+	prev := st.state
+	st.state = StateDown
+	st.fails = max(st.fails, h.threshold)
+	if err != nil {
+		st.lastErr = err.Error()
+	}
+	if prev != StateDown && h.log != nil {
+		h.log.Info("shard marked down by router", "shard", shard, "err", st.lastErr)
+	}
+}
+
+// Counts returns how many shards are currently Ready and how many Down.
+func (h *HealthChecker) Counts() (ready, down int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, st := range h.st {
+		switch st.state {
+		case StateReady:
+			ready++
+		case StateDown:
+			down++
+		}
+	}
+	return ready, down
+}
+
+// Snapshot returns every shard's health record, in shard order.
+func (h *HealthChecker) Snapshot() []ShardHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ShardHealth, 0, len(h.shards))
+	for _, shard := range h.shards {
+		st := h.st[shard]
+		out = append(out, ShardHealth{
+			Shard:            shard,
+			State:            st.state.String(),
+			ConsecutiveFails: st.fails,
+			Probes:           st.probes,
+			LastError:        st.lastErr,
+		})
+	}
+	return out
+}

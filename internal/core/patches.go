@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"unstencil/internal/fault"
+	"unstencil/internal/metrics"
+	"unstencil/internal/tile"
+)
+
+// PatchPartial is the outcome of evaluating one tile patch in isolation:
+// the patch's scratch-pad partial-solution buffer (indexed by its slot
+// list, t.Slots[Patch]) plus the exact counters the patch accrued. It is
+// the unit of work a cluster shard returns to the coordinator: because a
+// patch's buffer is accumulated element-by-element in PatchElems order
+// regardless of which process runs it, merging buffers in ascending patch
+// order reproduces tile.Reduce — and therefore a single-process
+// RunPerElement — bit for bit.
+type PatchPartial struct {
+	Patch    int
+	Values   []float64
+	Counters metrics.Counters
+}
+
+// EvalPatchesResilientCtx evaluates only the given patches of tiling t,
+// each under the resilience policy (panic isolation, capped-backoff retry),
+// and returns their partial-solution buffers without performing the
+// reduction. It is the shard half of the distributed per-element scheme:
+// the coordinator assigns disjoint patch sets to shards, gathers the
+// partials, and merges them in ascending patch order.
+//
+// With rs.AllowPartial, patches that exhaust their retries are dropped and
+// reported in the second return value (sorted); without it the first
+// permanent patch failure fails the call. Patch ids must be unique and in
+// [0, t.K).
+func (ev *Evaluator) EvalPatchesResilientCtx(ctx context.Context, t *tile.Tiling, patches []int, rs *Resilience) ([]PatchPartial, []int, error) {
+	if len(patches) == 0 {
+		return nil, nil, nil
+	}
+	seen := make(map[int]bool, len(patches))
+	for _, p := range patches {
+		if p < 0 || p >= t.K {
+			return nil, nil, fmt.Errorf("core: patch %d outside [0, %d)", p, t.K)
+		}
+		if seen[p] {
+			return nil, nil, fmt.Errorf("core: duplicate patch %d", p)
+		}
+		seen[p] = true
+	}
+	rs = rs.withDefaults()
+	out := make([]PatchPartial, len(patches))
+	var ec errCollector
+	var fs failureSet
+	workers := min(ev.Opt.Workers, len(patches))
+	wks := ev.getWorkers(max(workers, 1))
+	runDynamic(workers, len(patches), func(w, i int) bool {
+		wk := wks[w]
+		p := patches[i]
+		buf := make([]float64, len(t.Slots[p]))
+		err := rs.runUnit(ctx, PerElement, p, func() error {
+			clear(buf)
+			wk.counters.Reset()
+			if err := fault.Inject(SiteTile); err != nil {
+				return err
+			}
+			for _, e := range t.PatchElems[p] {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				var slotErr error
+				err := ev.processElement(e, wk, func(pt int32, v float64) {
+					sl := t.Slot(p, pt)
+					if sl < 0 {
+						slotErr = fmt.Errorf("core: patch %d received partial for unmarked point %d", p, pt)
+						return
+					}
+					buf[sl] += v
+				})
+				if err == nil {
+					err = slotErr
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			out[i] = PatchPartial{Patch: p, Values: buf, Counters: wk.counters}
+			return true
+		}
+		if !Transient(err) || !rs.AllowPartial {
+			ec.set(err)
+			return false
+		}
+		fs.add(p, rs.Faults)
+		return true
+	})
+	ev.putWorkers(wks)
+	if ec.err != nil {
+		return nil, nil, ec.err
+	}
+	failed := fs.sorted()
+	if len(failed) == 0 {
+		return out, nil, nil
+	}
+	kept := out[:0]
+	for _, pp := range out {
+		if pp.Values != nil {
+			kept = append(kept, pp)
+		}
+	}
+	return kept, failed, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"unstencil/internal/dg"
+	"unstencil/internal/fault"
+	"unstencil/internal/geom"
+	"unstencil/internal/mesh"
+)
+
+func patchesSetup(t *testing.T, p int) *Evaluator {
+	t.Helper()
+	m := mesh.Structured(6)
+	f := dg.Project(m, p, func(pt geom.Point) float64 {
+		return math.Sin(2*math.Pi*pt.X) * math.Cos(2*math.Pi*pt.Y)
+	}, 4)
+	ev, err := NewEvaluator(f, Options{P: p, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestEvalPatchesBitIdentical is the distributed-merge invariant at its
+// source: evaluating the tiling's patches in arbitrary disjoint subsets
+// and merging the partial buffers in ascending patch order must reproduce
+// a full RunPerElement bit for bit — no tolerance.
+func TestEvalPatchesBitIdentical(t *testing.T) {
+	ev := patchesSetup(t, 1)
+	const k = 7
+	tl := ev.NewTiling(k)
+	ref, err := ev.RunPerElement(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two "shards": an uneven split, evaluated independently.
+	splits := [][]int{{0, 1, 2}, {3, 4, 5, 6}}
+	merged := make([]float64, tl.NumPoints)
+	var partials []PatchPartial
+	for _, patches := range splits {
+		out, failed, err := ev.EvalPatchesResilientCtx(context.Background(), tl, patches, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed != nil {
+			t.Fatalf("unexpected failed patches %v", failed)
+		}
+		partials = append(partials, out...)
+	}
+	// Merge in ascending patch order (the coordinator's contract).
+	for p := 0; p < k; p++ {
+		for _, pp := range partials {
+			if pp.Patch != p {
+				continue
+			}
+			for i, pt := range tl.Slots[p] {
+				merged[pt] += pp.Values[i]
+			}
+		}
+	}
+	for i := range merged {
+		if merged[i] != ref.Solution[i] {
+			t.Fatalf("point %d: merged %v != reference %v (must be bit-identical)",
+				i, merged[i], ref.Solution[i])
+		}
+	}
+}
+
+// TestEvalPatchesValidation: out-of-range and duplicate patch ids are
+// rejected before any work runs.
+func TestEvalPatchesValidation(t *testing.T) {
+	ev := patchesSetup(t, 1)
+	tl := ev.NewTiling(4)
+	ctx := context.Background()
+	if _, _, err := ev.EvalPatchesResilientCtx(ctx, tl, []int{4}, nil); err == nil {
+		t.Error("out-of-range patch accepted")
+	}
+	if _, _, err := ev.EvalPatchesResilientCtx(ctx, tl, []int{1, 1}, nil); err == nil {
+		t.Error("duplicate patch accepted")
+	}
+	out, failed, err := ev.EvalPatchesResilientCtx(ctx, tl, nil, nil)
+	if out != nil || failed != nil || err != nil {
+		t.Errorf("empty patch list: got (%v, %v, %v), want all nil", out, failed, err)
+	}
+}
+
+// TestEvalPatchesPartialFailure: with AllowPartial, injected transient
+// faults drop exactly the failed patches and report them sorted; the
+// surviving partials are intact. Without AllowPartial the call fails.
+func TestEvalPatchesPartialFailure(t *testing.T) {
+	ev := patchesSetup(t, 1)
+	tl := ev.NewTiling(6)
+	ctx := context.Background()
+	all := []int{0, 1, 2, 3, 4, 5}
+
+	if err := fault.Enable(fault.Config{
+		Seed:      7,
+		Mode:      fault.ModeError,
+		Sites:     map[string]float64{SiteTile: 1},
+		MaxFaults: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disable)
+
+	rs := &Resilience{MaxAttempts: 1, AllowPartial: true}
+	out, failed, err := ev.EvalPatchesResilientCtx(ctx, tl, all, rs)
+	if err != nil {
+		t.Fatalf("AllowPartial run failed outright: %v", err)
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v, want exactly 2 patches (MaxFaults)", failed)
+	}
+	if len(out)+len(failed) != len(all) {
+		t.Fatalf("%d partials + %d failed != %d requested", len(out), len(failed), len(all))
+	}
+	for i := 1; i < len(failed); i++ {
+		if failed[i-1] >= failed[i] {
+			t.Fatalf("failed list not sorted: %v", failed)
+		}
+	}
+	for _, pp := range out {
+		if len(pp.Values) != len(tl.Slots[pp.Patch]) {
+			t.Fatalf("patch %d: %d values, want %d", pp.Patch, len(pp.Values), len(tl.Slots[pp.Patch]))
+		}
+	}
+
+	fault.Disable()
+	if err := fault.Enable(fault.Config{
+		Seed:      7,
+		Mode:      fault.ModeError,
+		Sites:     map[string]float64{SiteTile: 1},
+		MaxFaults: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs = &Resilience{MaxAttempts: 1}
+	if _, _, err := ev.EvalPatchesResilientCtx(ctx, tl, all, rs); err == nil {
+		t.Fatal("non-partial run with an exhausted patch should fail")
+	}
+}

@@ -12,6 +12,12 @@
 // reproduces the paper's scaling behaviour (Fig. 14) from first principles
 // on a host with any number of physical cores. An Exec helper also runs
 // blocks on real goroutines-as-SMs for wall-clock measurements.
+//
+// This package remains the *model* of the paper's multi-device machine;
+// internal/cluster is the real distributed deployment of the same
+// decomposition — a coordinator partitioning the deterministic tiling
+// across unstencild shard processes and merging their partials
+// bit-identically.
 package device
 
 import (

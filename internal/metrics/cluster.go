@@ -1,0 +1,85 @@
+package metrics
+
+import "sync/atomic"
+
+// ClusterCounters tracks the coordinator's routing and robustness activity:
+// traffic routed to shards, retries and Retry-After waits against
+// individual shards, hedged reads and which ones won, failovers to
+// alternate shards, mesh re-seeds of amnesiac shards, coverage probes, and
+// jobs completed degraded because a shard stayed down past its budget. All
+// fields are atomic so the request handlers, the distributed-job workers
+// and the health checker share one instance without locking.
+type ClusterCounters struct {
+	// MeshFanouts counts mesh uploads fanned out to the shard set.
+	MeshFanouts atomic.Uint64
+	// MeshReseeds counts meshes re-uploaded to a shard that answered
+	// "mesh not resident" (a restarted shard without a persistent store).
+	MeshReseeds atomic.Uint64
+	// QueriesRouted counts /v1/query requests forwarded to a shard.
+	QueriesRouted atomic.Uint64
+	// JobsRouted counts whole jobs forwarded to a single shard
+	// (per-point and operator schemes).
+	JobsRouted atomic.Uint64
+	// JobsDistributed counts per-element jobs fanned out as patch sets.
+	JobsDistributed atomic.Uint64
+	// ShardRequests counts every HTTP request sent to a shard.
+	ShardRequests atomic.Uint64
+	// Retries counts re-attempts of a shard request after a transient
+	// failure (transport error or 5xx).
+	Retries atomic.Uint64
+	// RetryAfterWaits counts retries that honored a server-provided
+	// Retry-After delay instead of the default backoff.
+	RetryAfterWaits atomic.Uint64
+	// Hedges counts hedged duplicate reads launched after the hedge delay.
+	Hedges atomic.Uint64
+	// HedgeWins counts hedged reads that finished before the primary.
+	HedgeWins atomic.Uint64
+	// Failovers counts work moved to an alternate shard after the primary
+	// exhausted its retry budget.
+	Failovers atomic.Uint64
+	// ShardFailures counts shard interactions that exhausted retries.
+	ShardFailures atomic.Uint64
+	// CoverageProbes counts shard queries for the uncovered-point set of
+	// failed patches (the degraded-merge bookkeeping).
+	CoverageProbes atomic.Uint64
+	// DegradedJobs counts cluster jobs completed with partial coverage.
+	DegradedJobs atomic.Uint64
+}
+
+// ClusterSnapshot is the JSON view of ClusterCounters.
+type ClusterSnapshot struct {
+	MeshFanouts     uint64 `json:"mesh_fanouts"`
+	MeshReseeds     uint64 `json:"mesh_reseeds"`
+	QueriesRouted   uint64 `json:"queries_routed"`
+	JobsRouted      uint64 `json:"jobs_routed"`
+	JobsDistributed uint64 `json:"jobs_distributed"`
+	ShardRequests   uint64 `json:"shard_requests"`
+	Retries         uint64 `json:"retries"`
+	RetryAfterWaits uint64 `json:"retry_after_waits"`
+	Hedges          uint64 `json:"hedges"`
+	HedgeWins       uint64 `json:"hedge_wins"`
+	Failovers       uint64 `json:"failovers"`
+	ShardFailures   uint64 `json:"shard_failures"`
+	CoverageProbes  uint64 `json:"coverage_probes"`
+	DegradedJobs    uint64 `json:"degraded_jobs"`
+}
+
+// Snapshot reads all counters at one (non-atomic across fields) instant.
+func (c *ClusterCounters) Snapshot() ClusterSnapshot {
+	return ClusterSnapshot{
+		MeshFanouts:     c.MeshFanouts.Load(),
+		MeshReseeds:     c.MeshReseeds.Load(),
+		QueriesRouted:   c.QueriesRouted.Load(),
+		JobsRouted:      c.JobsRouted.Load(),
+		JobsDistributed: c.JobsDistributed.Load(),
+		ShardRequests:   c.ShardRequests.Load(),
+		Retries:         c.Retries.Load(),
+		RetryAfterWaits: c.RetryAfterWaits.Load(),
+		Hedges:          c.Hedges.Load(),
+		HedgeWins:       c.HedgeWins.Load(),
+		Failovers:       c.Failovers.Load(),
+		ShardFailures:   c.ShardFailures.Load(),
+		CoverageProbes:  c.CoverageProbes.Load(),
+		DegradedJobs:    c.DegradedJobs.Load(),
+	}
+}

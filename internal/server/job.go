@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,11 @@ const (
 	// MaxGridDegree bounds the evaluation-grid quadrature degree.
 	MaxGridDegree = 32
 )
+
+// Validate checks and defaults the spec in place. The cluster coordinator
+// uses it to reject bad submissions at its own front door instead of
+// letting them fail asynchronously on a shard.
+func (s *JobSpec) Validate(defaultBlocks int) error { return s.normalize(defaultBlocks) }
 
 // normalize validates and defaults the spec.
 func (s *JobSpec) normalize(defaultBlocks int) error {
@@ -272,6 +278,11 @@ type Manager struct {
 
 	busy   atomic.Int64
 	totals *metrics.Totals
+
+	// svcEWMA tracks the exponentially weighted moving average of job
+	// service time (seconds), feeding the derived Retry-After on queue-full
+	// rejections. Stored as float64 bits for lock-free update/read.
+	svcEWMA atomic.Uint64
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -587,6 +598,44 @@ func (m *Manager) Totals() map[string]metrics.TotalSnapshot { return m.totals.Sn
 // alongside scheme runs.
 func (m *Manager) RecordQuery(c *metrics.Counters) { m.totals.Record("batch-query", c) }
 
+// observeService folds one finished job's wall time into the service-time
+// EWMA (α = 0.2: responsive to workload shifts, stable against one outlier).
+func (m *Manager) observeService(wall time.Duration) {
+	const alpha = 0.2
+	s := wall.Seconds()
+	for {
+		old := m.svcEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := s
+		if old != 0 {
+			next = alpha*s + (1-alpha)*prev
+		}
+		if m.svcEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// ServiceEWMA returns the observed mean job service time (0 before the
+// first job completes).
+func (m *Manager) ServiceEWMA() time.Duration {
+	return time.Duration(math.Float64frombits(m.svcEWMA.Load()) * float64(time.Second))
+}
+
+// RetryAfterSeconds estimates how long a rejected client should wait for a
+// queue slot: the jobs ahead of it (queued + running) divided across the
+// worker pool, each taking the observed mean service time. Clamped to
+// [1, 60] seconds; before any job has completed it falls back to 1.
+func (m *Manager) RetryAfterSeconds() int {
+	svc := math.Float64frombits(m.svcEWMA.Load())
+	if svc <= 0 {
+		return 1
+	}
+	ahead := float64(m.QueueDepth() + m.Busy())
+	secs := int(math.Ceil(svc * ahead / float64(m.workers)))
+	return max(1, min(secs, 60))
+}
+
 // StateCounts tallies retained jobs by state.
 func (m *Manager) StateCounts() map[JobState]int {
 	counts := map[JobState]int{}
@@ -676,6 +725,7 @@ func (m *Manager) runJob(job *Job) {
 	state, wall := job.state, job.finished.Sub(job.started)
 	job.mu.Unlock()
 	close(job.done)
+	m.observeService(wall)
 	m.journalFinish(job.ID, state)
 
 	if m.log != nil {

@@ -16,7 +16,12 @@
 //	GET    /v1/jobs/{id}       job status + exact counters
 //	GET    /v1/jobs/{id}/result  post-processed solution array
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	POST   /v1/shard/eval      patch-scoped partial evaluation (cluster
+//	                           shard mode; see shard.go)
+//	POST   /v1/shard/coverage  uncovered-point set of failed patches
 //	GET    /healthz            liveness
+//	GET    /readyz             readiness: startup work done, queue below
+//	                           saturation (what the coordinator polls)
 //	GET    /debug/metrics      queue depth, workers busy, cache hit rate,
 //	                           cumulative per-scheme counters
 package server
@@ -29,6 +34,8 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"unstencil/internal/artifact"
@@ -103,6 +110,11 @@ type Server struct {
 	log      *slog.Logger
 	start    time.Time
 	handler  http.Handler
+	// ready flips once startup work (journal replay, artifact-store GC) has
+	// completed; /readyz additionally requires the job queue to be below
+	// saturation. Distinct from /healthz liveness, which is true the moment
+	// the process serves HTTP.
+	ready atomic.Bool
 }
 
 // New assembles the artifact cache, job manager and routes. With
@@ -159,9 +171,16 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /v1/shard/eval", s.handleShardEval)
+	mux.HandleFunc("POST /v1/shard/coverage", s.handleShardCoverage)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	s.handler = s.withLogging(s.withRecovery(mux))
+	// Startup work — journal replay and artifact-store GC — happens
+	// synchronously above, so by this point the process is ready modulo
+	// queue saturation, which handleReadyz re-checks per request.
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -339,7 +358,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.Status())
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is derived from the observed job service time and the
+		// live queue depth, so a saturated server tells clients how long a
+		// slot actually takes to free instead of a hardcoded guess.
+		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -406,6 +428,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":    "ok",
 		"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
 	})
+}
+
+// readiness reports whether the service should receive traffic: startup
+// work (journal replay, artifact-store GC) done and the job queue below
+// saturation. A full queue is honest back-pressure — the coordinator's
+// health checker treats it as "alive but do not route new work here".
+func readiness(started bool, depth, capacity int) (bool, string) {
+	switch {
+	case !started:
+		return false, "startup (journal replay, store GC) in progress"
+	case depth >= capacity:
+		return false, fmt.Sprintf("job queue saturated (%d/%d)", depth, capacity)
+	default:
+		return true, ""
+	}
+}
+
+// handleReadyz serves GET /readyz, the readiness probe the cluster
+// coordinator consumes. Unlike /healthz (liveness: the process answers),
+// readiness also demands that replayed state is loaded and the queue can
+// absorb a submission; 503 means "up, but route elsewhere for now".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.mgr.QueueDepth(), s.mgr.QueueCapacity()
+	ready, reason := readiness(s.ready.Load(), depth, capacity)
+	body := map[string]any{
+		"ready":          ready,
+		"started":        s.ready.Load(),
+		"queue_depth":    depth,
+		"queue_capacity": capacity,
+	}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfterSeconds()))
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

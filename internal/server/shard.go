@@ -1,0 +1,278 @@
+package server
+
+// This file implements shard mode: the endpoints a cluster coordinator
+// drives. Any unstencild process can serve them — "shard" is a role, not a
+// build flavour. The coordinator partitions a job's tiling patches across
+// shards; each shard evaluates its assigned patches against its own
+// resident evaluator and returns sparse partial-solution buffers (slot
+// lists + values). The tiling is deterministic given (mesh, parameters,
+// k), so every shard sees the identical decomposition, and the
+// coordinator's ascending-patch-order merge reproduces a single-process
+// per-element run bit for bit.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"unstencil/internal/core"
+	"unstencil/internal/fault"
+	"unstencil/internal/metrics"
+	"unstencil/internal/tile"
+)
+
+// SiteShardEval fires at the top of each shard patch-evaluation request, so
+// a -fault-spec campaign can chaos the coordinator's retry and failover
+// paths deterministically (the coordinator sees a 5xx, exactly as it would
+// from a genuinely failing shard).
+const SiteShardEval = "server.shard-eval"
+
+// MaxUncoveredIDs bounds the uncovered-point id list one coverage response
+// carries; the count fields stay exact beyond it.
+const MaxUncoveredIDs = 1 << 16
+
+// ShardEvalRequest asks for the partial solutions of a subset of the
+// k-patch tiling of a resident mesh.
+type ShardEvalRequest struct {
+	MeshID     string `json:"mesh_id"`
+	P          int    `json:"p"`
+	GridDegree int    `json:"grid_degree,omitempty"`
+	Boundary   string `json:"boundary,omitempty"`
+	Field      string `json:"field,omitempty"`
+	// K is the total patch count of the tiling (shared by every shard of
+	// the job, whatever subset each one evaluates).
+	K int `json:"k"`
+	// Patches are the tiling patch ids this shard should evaluate.
+	Patches []int `json:"patches"`
+	// AllowPartial lets patches that exhaust their retries be dropped and
+	// reported in Failed instead of failing the request.
+	AllowPartial bool `json:"allow_partial,omitempty"`
+	// TimeoutMS caps the evaluation; 0 means the server's job timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+func (q *ShardEvalRequest) normalize() error {
+	if q.MeshID == "" {
+		return errors.New("mesh_id is required")
+	}
+	if q.P < 1 || q.P > 4 {
+		return fmt.Errorf("p must be in 1..4, got %d", q.P)
+	}
+	if q.GridDegree > MaxGridDegree {
+		return fmt.Errorf("grid_degree must be <= %d, got %d", MaxGridDegree, q.GridDegree)
+	}
+	if q.Boundary == "" {
+		q.Boundary = "periodic"
+	}
+	if _, err := parseBoundary(q.Boundary); err != nil {
+		return err
+	}
+	if q.Field == "" {
+		q.Field = "sincos"
+	}
+	if _, ok := FieldFuncs[q.Field]; !ok {
+		return fmt.Errorf("unknown field %q (have %v)", q.Field, FieldNames())
+	}
+	if q.K < 1 || q.K > MaxBlocks {
+		return fmt.Errorf("k must be in 1..%d, got %d", MaxBlocks, q.K)
+	}
+	if len(q.Patches) == 0 {
+		return errors.New("patches must be non-empty")
+	}
+	for _, p := range q.Patches {
+		if p < 0 || p >= q.K {
+			return fmt.Errorf("patch %d outside [0, %d)", p, q.K)
+		}
+	}
+	if q.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0, got %d", q.TimeoutMS)
+	}
+	return nil
+}
+
+// ShardPatchPartial is one patch's sparse partial-solution buffer on the
+// wire: Points[i] is the global grid point receiving Values[i]. Points is
+// the patch's slot list, ascending.
+type ShardPatchPartial struct {
+	Patch  int       `json:"patch"`
+	Points []int32   `json:"points"`
+	Values []float64 `json:"values"`
+}
+
+// ShardEvalResponse carries the requested patches' partials plus the failed
+// set (AllowPartial only) and the exact summed counters.
+type ShardEvalResponse struct {
+	MeshID         string              `json:"mesh_id"`
+	K              int                 `json:"k"`
+	NumPoints      int                 `json:"num_points"`
+	Patches        []ShardPatchPartial `json:"patches"`
+	Failed         []int               `json:"failed,omitempty"`
+	Counters       metrics.Counters    `json:"counters"`
+	MemoryOverhead float64             `json:"memory_overhead"`
+	WallMS         float64             `json:"wall_ms"`
+}
+
+// handleShardEval serves POST /v1/shard/eval: patch-scoped per-element
+// evaluation, synchronous on the request goroutine like /v1/query. The
+// coordinator owns job lifecycle, retry across shards and the final merge;
+// the shard contributes exact, deterministic partials.
+func (s *Server) handleShardEval(w http.ResponseWriter, r *http.Request) {
+	if err := fault.Inject(SiteShardEval); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var req ShardEvalRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard eval request: %v", err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard eval request: %v", err)
+		return
+	}
+	ev, tiling, status, err := s.shardArtifacts(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	timeout := s.mgr.jobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	rs := &core.Resilience{
+		MaxAttempts:  s.mgr.retry.Attempts,
+		BaseDelay:    s.mgr.retry.Base,
+		MaxDelay:     s.mgr.retry.Max,
+		AllowPartial: req.AllowPartial,
+		Faults:       s.faults,
+	}
+	start := time.Now()
+	partials, failed, err := ev.EvalPatchesResilientCtx(ctx, tiling, req.Patches, rs)
+	if err != nil {
+		// Transient failures (injected faults, panics) are retryable by the
+		// coordinator; permanent ones (cancellation, deadline) are its cue
+		// to give up on this attempt.
+		status := http.StatusInternalServerError
+		if !core.Transient(err) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, "shard eval: %v", err)
+		return
+	}
+	resp := ShardEvalResponse{
+		MeshID:         req.MeshID,
+		K:              req.K,
+		NumPoints:      tiling.NumPoints,
+		Patches:        make([]ShardPatchPartial, 0, len(partials)),
+		Failed:         failed,
+		MemoryOverhead: tiling.Overhead(),
+		WallMS:         float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for i := range partials {
+		pp := &partials[i]
+		resp.Patches = append(resp.Patches, ShardPatchPartial{
+			Patch:  pp.Patch,
+			Points: tiling.Slots[pp.Patch],
+			Values: pp.Values,
+		})
+		resp.Counters.Add(&pp.Counters)
+	}
+	s.mgr.totals.Record("shard-eval", &resp.Counters)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ShardCoverageRequest asks for the uncovered-point set of a failed patch
+// subset. The tiling is deterministic, so any live shard can answer for
+// patches a dead shard owned — which is exactly how the coordinator keeps
+// Coverage honest after a shard is lost.
+type ShardCoverageRequest struct {
+	MeshID     string `json:"mesh_id"`
+	P          int    `json:"p"`
+	GridDegree int    `json:"grid_degree,omitempty"`
+	Boundary   string `json:"boundary,omitempty"`
+	Field      string `json:"field,omitempty"`
+	K          int    `json:"k"`
+	Failed     []int  `json:"failed"`
+}
+
+// ShardCoverageResponse reports the exact uncovered-point accounting plus
+// up to MaxUncoveredIDs of the ids themselves.
+type ShardCoverageResponse struct {
+	TotalPoints        int     `json:"total_points"`
+	UncoveredPoints    int     `json:"uncovered_points"`
+	CoveredPoints      int     `json:"covered_points"`
+	UncoveredIDs       []int32 `json:"uncovered_ids,omitempty"`
+	UncoveredTruncated bool    `json:"uncovered_truncated,omitempty"`
+}
+
+// handleShardCoverage serves POST /v1/shard/coverage.
+func (s *Server) handleShardCoverage(w http.ResponseWriter, r *http.Request) {
+	var req ShardCoverageRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard coverage request: %v", err)
+		return
+	}
+	ereq := ShardEvalRequest{
+		MeshID: req.MeshID, P: req.P, GridDegree: req.GridDegree,
+		Boundary: req.Boundary, Field: req.Field, K: req.K,
+		Patches: req.Failed,
+	}
+	if len(req.Failed) == 0 {
+		// normalize requires a non-empty patch list; an empty failed set is
+		// legal here and trivially fully covered.
+		ereq.Patches = []int{0}
+	}
+	if err := ereq.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard coverage request: %v", err)
+		return
+	}
+	_, tiling, status, err := s.shardArtifacts(&ereq)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	ids := tiling.UncoveredIDs(req.Failed)
+	resp := ShardCoverageResponse{
+		TotalPoints:     tiling.NumPoints,
+		UncoveredPoints: len(ids),
+		CoveredPoints:   tiling.NumPoints - len(ids),
+	}
+	if len(ids) > MaxUncoveredIDs {
+		resp.UncoveredIDs = ids[:MaxUncoveredIDs]
+		resp.UncoveredTruncated = true
+	} else {
+		resp.UncoveredIDs = ids
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardArtifacts resolves the evaluator and k-patch tiling for a normalized
+// shard request, mapping failures to HTTP statuses (404 for a mesh the
+// shard does not hold — the coordinator's cue to re-seed it).
+func (s *Server) shardArtifacts(req *ShardEvalRequest) (*core.Evaluator, *tile.Tiling, int, error) {
+	m, ok := s.arts.Mesh(req.MeshID)
+	if !ok {
+		return nil, nil, http.StatusNotFound,
+			fmt.Errorf("mesh %q not resident (upload it via POST /v1/meshes)", req.MeshID)
+	}
+	boundary, _ := parseBoundary(req.Boundary) // validated by normalize
+	ev, _, err := s.arts.Evaluator(m, req.MeshID, req.P, req.GridDegree, boundary, req.Field)
+	if err != nil {
+		return nil, nil, http.StatusUnprocessableEntity, err
+	}
+	evalKey := EvalKey(req.MeshID, req.P, req.GridDegree, boundary, req.Field)
+	tiling, _, err := s.arts.Tiling(ev, evalKey, req.K)
+	if err != nil {
+		return nil, nil, http.StatusUnprocessableEntity, err
+	}
+	return ev, tiling, http.StatusOK, nil
+}

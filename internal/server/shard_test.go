@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+)
+
+func postShard(t *testing.T, ts *httptest.Server, path string, req, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestShardEvalBitIdentical drives the shard endpoints the way the
+// coordinator does: two disjoint patch-range requests, merged in ascending
+// patch order, must reproduce a local per-element run bit for bit.
+func TestShardEvalBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, EvalWorkers: 2})
+	m := mesh.Structured(6)
+	meshID := uploadMesh(t, ts, m)
+	const k = 7
+
+	f := dg.Project(m, 1, FieldFuncs["sincos"], 4)
+	ev, err := core.NewEvaluator(f, core.Options{P: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ev.RunPerElement(ev.NewTiling(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := make([]float64, len(ref.Solution))
+	var partials []ShardPatchPartial
+	for _, patches := range [][]int{{0, 1, 2}, {3, 4, 5, 6}} {
+		var resp ShardEvalResponse
+		code := postShard(t, ts, "/v1/shard/eval", ShardEvalRequest{
+			MeshID: meshID, P: 1, K: k, Patches: patches,
+		}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("shard eval %v: status %d", patches, code)
+		}
+		if resp.NumPoints != len(ref.Solution) {
+			t.Fatalf("num_points %d, want %d", resp.NumPoints, len(ref.Solution))
+		}
+		if len(resp.Patches) != len(patches) || len(resp.Failed) != 0 {
+			t.Fatalf("got %d partials, %d failed; want %d, 0",
+				len(resp.Patches), len(resp.Failed), len(patches))
+		}
+		if resp.Counters.IntersectionTests == 0 {
+			t.Error("missing counters")
+		}
+		partials = append(partials, resp.Patches...)
+	}
+	for p := 0; p < k; p++ {
+		for _, pp := range partials {
+			if pp.Patch != p {
+				continue
+			}
+			if len(pp.Points) != len(pp.Values) {
+				t.Fatalf("patch %d: %d points, %d values", p, len(pp.Points), len(pp.Values))
+			}
+			for i, pt := range pp.Points {
+				merged[pt] += pp.Values[i]
+			}
+		}
+	}
+	for i := range merged {
+		if merged[i] != ref.Solution[i] {
+			t.Fatalf("point %d: merged %v != local %v (must be bit-identical)",
+				i, merged[i], ref.Solution[i])
+		}
+	}
+}
+
+// TestShardCoverageMatchesTiling: the coverage endpoint must agree exactly
+// with the deterministic tiling's own uncovered-point accounting — that is
+// what lets the coordinator stay honest about a dead shard's patches.
+func TestShardCoverageMatchesTiling(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, EvalWorkers: 2})
+	m := mesh.Structured(6)
+	meshID := uploadMesh(t, ts, m)
+	const k = 6
+
+	f := dg.Project(m, 1, FieldFuncs["sincos"], 4)
+	ev, err := core.NewEvaluator(f, core.Options{P: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := ev.NewTiling(k)
+
+	failed := []int{2, 5}
+	var resp ShardCoverageResponse
+	code := postShard(t, ts, "/v1/shard/coverage", ShardCoverageRequest{
+		MeshID: meshID, P: 1, K: k, Failed: failed,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("coverage status %d", code)
+	}
+	wantIDs := tl.UncoveredIDs(failed)
+	if resp.TotalPoints != tl.NumPoints {
+		t.Errorf("total %d, want %d", resp.TotalPoints, tl.NumPoints)
+	}
+	if resp.UncoveredPoints != len(wantIDs) || resp.CoveredPoints != tl.NumPoints-len(wantIDs) {
+		t.Errorf("uncovered/covered %d/%d, want %d/%d",
+			resp.UncoveredPoints, resp.CoveredPoints, len(wantIDs), tl.NumPoints-len(wantIDs))
+	}
+	if len(resp.UncoveredIDs) != len(wantIDs) {
+		t.Fatalf("%d uncovered ids, want %d", len(resp.UncoveredIDs), len(wantIDs))
+	}
+	for i, pt := range resp.UncoveredIDs {
+		if pt != wantIDs[i] {
+			t.Fatalf("uncovered id %d: %d != %d", i, pt, wantIDs[i])
+		}
+	}
+
+	// Empty failed set: trivially fully covered.
+	resp = ShardCoverageResponse{}
+	if code := postShard(t, ts, "/v1/shard/coverage", ShardCoverageRequest{
+		MeshID: meshID, P: 1, K: k,
+	}, &resp); code != http.StatusOK {
+		t.Fatalf("empty-failed coverage status %d", code)
+	}
+	if resp.UncoveredPoints != 0 || resp.CoveredPoints != tl.NumPoints {
+		t.Errorf("empty failed set: uncovered %d covered %d", resp.UncoveredPoints, resp.CoveredPoints)
+	}
+}
+
+// TestShardEvalValidation: bad requests are 400s, an unknown mesh is the
+// 404 the coordinator's re-seed protocol keys on.
+func TestShardEvalValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	m := mesh.Structured(4)
+	meshID := uploadMesh(t, ts, m)
+
+	cases := []ShardEvalRequest{
+		{P: 1, K: 4, Patches: []int{0}},                                    // no mesh id
+		{MeshID: meshID, P: 9, K: 4, Patches: []int{0}},                    // bad p
+		{MeshID: meshID, P: 1, K: 0, Patches: []int{0}},                    // bad k
+		{MeshID: meshID, P: 1, K: 4},                                       // no patches
+		{MeshID: meshID, P: 1, K: 4, Patches: []int{4}},                    // patch out of range
+		{MeshID: meshID, P: 1, K: 4, Patches: []int{0}, Boundary: "bogus"}, // bad boundary
+	}
+	for i, req := range cases {
+		if code := postShard(t, ts, "/v1/shard/eval", req, nil); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, code)
+		}
+	}
+	code := postShard(t, ts, "/v1/shard/eval", ShardEvalRequest{
+		MeshID: "absent", P: 1, K: 4, Patches: []int{0},
+	}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown mesh: status %d, want 404", code)
+	}
+}

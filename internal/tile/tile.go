@@ -254,6 +254,22 @@ func (t *Tiling) ReduceParallel(bufs [][]float64, out []float64, workers int) {
 	wg.Wait()
 }
 
+// uncoveredBits marks the union of the failed patches' influence regions in
+// a fresh bitset of NumPoints bits.
+func (t *Tiling) uncoveredBits(failed []int) []uint64 {
+	words := (t.NumPoints + 63) / 64
+	bits := make([]uint64, words)
+	for _, p := range failed {
+		if p < 0 || p >= t.K {
+			panic(fmt.Sprintf("tile: uncovered patch %d outside [0, %d)", p, t.K))
+		}
+		for _, pt := range t.Slots[p] {
+			bits[pt>>6] |= 1 << (uint(pt) & 63)
+		}
+	}
+	return bits
+}
+
 // UncoveredPoints returns the number of grid points that lose at least one
 // partial contribution when the given patches drop out (the union of their
 // influence regions). The fault-tolerant per-element runner uses it to
@@ -264,21 +280,31 @@ func (t *Tiling) UncoveredPoints(failed []int) int {
 	if len(failed) == 0 {
 		return 0
 	}
-	words := (t.NumPoints + 63) / 64
-	bits := make([]uint64, words)
-	for _, p := range failed {
-		if p < 0 || p >= t.K {
-			panic(fmt.Sprintf("tile: UncoveredPoints patch %d outside [0, %d)", p, t.K))
-		}
-		for _, pt := range t.Slots[p] {
-			bits[pt>>6] |= 1 << (uint(pt) & 63)
-		}
-	}
 	n := 0
-	for _, w := range bits {
+	for _, w := range t.uncoveredBits(failed) {
 		n += popcount(w)
 	}
 	return n
+}
+
+// UncoveredIDs returns the ids of the grid points that lose at least one
+// partial contribution when the given patches drop out, ascending — the
+// exact point set UncoveredPoints counts. The cluster coordinator reports
+// these ids in degraded results so a client knows precisely which points
+// carry an incomplete sum rather than just how many.
+func (t *Tiling) UncoveredIDs(failed []int) []int32 {
+	if len(failed) == 0 {
+		return nil
+	}
+	var ids []int32
+	for w, word := range t.uncoveredBits(failed) {
+		for word != 0 {
+			b := word & (-word)
+			ids = append(ids, int32(w*64+trailingZeros(word)))
+			word ^= b
+		}
+	}
+	return ids
 }
 
 // Colors greedily colours the patch-overlap graph: two patches conflict

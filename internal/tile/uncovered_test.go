@@ -1,0 +1,58 @@
+package tile
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestUncoveredIDs: the id list must be exactly the ascending union of the
+// failed patches' slot lists, consistent with the UncoveredPoints count,
+// and empty for an empty failed set.
+func TestUncoveredIDs(t *testing.T) {
+	m, pointElem, mark := testSetup(t, 8, 0.1)
+	tl := New(m, pointElem, 6, mark)
+
+	if got := tl.UncoveredIDs(nil); got != nil {
+		t.Fatalf("UncoveredIDs(nil) = %v, want nil", got)
+	}
+
+	for _, failed := range [][]int{{0}, {2, 4}, {5, 1, 3}, {0, 1, 2, 3, 4, 5}} {
+		ids := tl.UncoveredIDs(failed)
+		if len(ids) != tl.UncoveredPoints(failed) {
+			t.Fatalf("failed %v: %d ids, UncoveredPoints says %d",
+				failed, len(ids), tl.UncoveredPoints(failed))
+		}
+		if !slices.IsSorted(ids) {
+			t.Fatalf("failed %v: ids not ascending: %v", failed, ids)
+		}
+		// Reference: union of the failed patches' slot lists.
+		want := map[int32]bool{}
+		for _, p := range failed {
+			for _, pt := range tl.Slots[p] {
+				want[pt] = true
+			}
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("failed %v: %d ids, want %d", failed, len(ids), len(want))
+		}
+		for _, pt := range ids {
+			if !want[pt] {
+				t.Fatalf("failed %v: id %d not in any failed patch's slots", failed, pt)
+			}
+		}
+	}
+
+	// Failing every patch uncovers every marked point but no more than the
+	// grid holds.
+	all := tl.UncoveredIDs([]int{0, 1, 2, 3, 4, 5})
+	if len(all) > tl.NumPoints {
+		t.Fatalf("all-failed uncovered %d > NumPoints %d", len(all), tl.NumPoints)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range patch did not panic")
+		}
+	}()
+	tl.UncoveredIDs([]int{99})
+}
