@@ -10,6 +10,7 @@
 //	unstencil-bench -scaling -scaling-out BENCH_PR4.json
 //	unstencil-bench -operator -operator-out BENCH_PR5.json
 //	unstencil-bench -artifact -artifact-out BENCH_PR6.json
+//	unstencil-bench -spmm -spmm-out BENCH_PR8.json -spmm-gha BENCH_PR8.gha.json
 //
 // Each invocation merges its results into the output file under -label,
 // preserving runs recorded under other labels; -compare prints a
@@ -50,8 +51,47 @@ func main() {
 		artifactSweep  = flag.Bool("artifact", false, "run the artifact cold-start sweep instead of the hot-path suite")
 		artifactOut    = flag.String("artifact-out", "BENCH_PR6.json", "with -artifact: report file to write")
 		artifactDir    = flag.String("artifact-dir", "", "with -artifact: store scratch directory (default: temp dir)")
+		spmm           = flag.Bool("spmm", false, "run the batched-apply (SpMM) sweep instead of the hot-path suite")
+		spmmOut        = flag.String("spmm-out", "BENCH_PR8.json", "with -spmm: report file to write")
+		spmmGHA        = flag.String("spmm-gha", "", "with -spmm: also write the github-action-benchmark JSON array here")
+		spmmFields     = flag.String("spmm-fields", "", "with -spmm: comma-separated batch widths, e.g. 1,2,4,8,16")
 	)
 	flag.Parse()
+
+	if *spmm {
+		mcfg := bench.DefaultSpMMConfig()
+		if *size > 0 {
+			mcfg.Size = *size
+		}
+		if *workers > 0 {
+			mcfg.Workers = *workers
+		}
+		if *spmmFields != "" {
+			fs, err := parseWorkerList(*spmmFields)
+			if err != nil {
+				fatal(err)
+			}
+			mcfg.Fields = fs
+		}
+		fmt.Fprintf(os.Stderr, "running batched-apply sweep (size=%d, orders=%v, fields=%v)...\n",
+			mcfg.Size, mcfg.Orders, mcfg.Fields)
+		rep, err := bench.RunSpMM(mcfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Save(*spmmOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *spmmOut)
+		if *spmmGHA != "" {
+			if err := rep.SaveGHA(*spmmGHA); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *spmmGHA)
+		}
+		return
+	}
 
 	if *artifactSweep {
 		acfg := bench.DefaultArtifactConfig()

@@ -40,6 +40,19 @@
 // change; readers reject versions they do not know, and unknown section
 // types within a known version are ignored so minor additions stay
 // forward-compatible.
+//
+// # Format version 2 (templated operators)
+//
+// Version 2 containers are version 1 plus the optional row-congruence
+// template sections of a compressed operator (SecTplPtr..SecRowBase, see
+// operator.TemplateSet). The sections are load-bearing — dropping them
+// would silently lose most of the operator's rows — which is exactly why
+// they ride a version bump instead of the ignore-unknown-sections rule:
+// a v1-only reader must reject the file, not misread it. Writers emit
+// version 1 whenever the operator has no templates, so plain artifacts
+// remain readable by v1-era tooling, and every v1 file remains readable
+// here. The template arrays are fixed-width (int64/int32/float64) like
+// the CSR arrays, so templated operators mmap zero-copy the same way.
 package artifact
 
 import (
@@ -53,9 +66,15 @@ import (
 // Magic identifies an unstencil artifact file.
 const Magic = "UNSA"
 
-// Version is the current container format version. Readers reject files
-// with any other version: fixed-width layouts cannot be sniffed safely.
+// Version is the base container format version. Readers reject files
+// with versions they do not know: fixed-width layouts cannot be sniffed
+// safely.
 const Version = 1
+
+// VersionTemplated marks containers carrying the operator template
+// sections. Writers use it only when templates are present, so plain
+// artifacts stay version 1.
+const VersionTemplated = 2
 
 // Artifact kinds (header field).
 const (
@@ -100,6 +119,15 @@ const (
 	SecColInd uint32 = 49 // int32, nnz
 	SecVal    uint32 = 50 // float64, nnz
 	SecPerm   uint32 = 51 // int32, rows (optional: absent = identity)
+
+	// Row-congruence template payload (version 2 operators only; all five
+	// present together or all absent). Same fixed-width mmap contract as
+	// the CSR arrays.
+	SecTplPtr   uint32 = 52 // int64, numTemplates+1
+	SecTplDelta uint32 = 53 // int32, template entries (column deltas)
+	SecTplVal   uint32 = 54 // float64, template entries (weights)
+	SecRowTpl   uint32 = 55 // int32, rows (template id, -1 = plain row)
+	SecRowBase  uint32 = 56 // int32, rows (templated row's base column)
 )
 
 const (
@@ -137,6 +165,7 @@ type SectionInfo struct {
 // bytes are read (and CRC-verified) on demand, so a caller that only needs
 // the header — inspect, startup GC — never touches the arrays.
 type Container struct {
+	Version  uint16
 	Kind     uint16
 	Sections []SectionInfo
 
@@ -161,8 +190,10 @@ func Parse(r io.ReaderAt, size int64) (*Container, error) {
 	if string(hdr[0:4]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
-		return nil, fmt.Errorf("%w: got v%d, this reader supports v%d", ErrVersion, v, Version)
+	v := binary.LittleEndian.Uint16(hdr[4:6])
+	if v < Version || v > VersionTemplated {
+		return nil, fmt.Errorf("%w: got v%d, this reader supports v%d-v%d",
+			ErrVersion, v, Version, VersionTemplated)
 	}
 	kind := binary.LittleEndian.Uint16(hdr[6:8])
 	n := binary.LittleEndian.Uint32(hdr[8:12])
@@ -173,7 +204,7 @@ func Parse(r io.ReaderAt, size int64) (*Container, error) {
 	if _, err := r.ReadAt(table, headerSize); err != nil {
 		return nil, fmt.Errorf("%w: section table truncated", ErrCorrupt)
 	}
-	c := &Container{Kind: kind, Sections: make([]SectionInfo, n), r: r, size: size}
+	c := &Container{Version: v, Kind: kind, Sections: make([]SectionInfo, n), r: r, size: size}
 	payloadStart := uint64(headerSize) + uint64(n)*entrySize
 	seen := map[uint32]bool{}
 	for i := range c.Sections {
@@ -274,7 +305,7 @@ type section struct {
 // table, then payloads at 8-byte-aligned offsets with zero padding. The
 // whole file is assembled in memory — artifacts are at most tens of MB and
 // the caller already holds the arrays being written.
-func encodeContainer(kind uint16, secs []section) []byte {
+func encodeContainer(version, kind uint16, secs []section) []byte {
 	payloadStart := align8(uint64(headerSize) + uint64(len(secs))*entrySize)
 	total := payloadStart
 	offsets := make([]uint64, len(secs))
@@ -284,7 +315,7 @@ func encodeContainer(kind uint16, secs []section) []byte {
 	}
 	out := make([]byte, total)
 	copy(out[0:4], Magic)
-	binary.LittleEndian.PutUint16(out[4:6], Version)
+	binary.LittleEndian.PutUint16(out[4:6], version)
 	binary.LittleEndian.PutUint16(out[6:8], kind)
 	binary.LittleEndian.PutUint32(out[8:12], uint32(len(secs)))
 	for i, s := range secs {

@@ -96,7 +96,7 @@ func EncodeMesh(w io.Writer, key string, m *mesh.Mesh) (int64, error) {
 	for i, t := range m.Tris {
 		putI32s(tris[12*i:12*i+12], t[:])
 	}
-	buf := encodeContainer(KindMesh, []section{
+	buf := encodeContainer(Version, KindMesh, []section{
 		{SecMeta, meta},
 		{SecKey, []byte(key)},
 		{SecVerts, verts},
@@ -181,7 +181,7 @@ func EncodeField(w io.Writer, key string, f *dg.Field) (int64, error) {
 	binary.LittleEndian.PutUint32(meta[4:8], uint32(f.Basis.N))
 	binary.LittleEndian.PutUint64(meta[8:16], uint64(len(f.Coeffs)/f.Basis.N))
 	copy(meta[16:80], f.Mesh.ContentHash())
-	buf := encodeContainer(KindField, []section{
+	buf := encodeContainer(Version, KindField, []section{
 		{SecMeta, meta},
 		{SecKey, []byte(key)},
 		{SecCoeffs, encodeF64s(f.Coeffs)},
@@ -260,8 +260,15 @@ const opMetaSize = 8 + 8 + 4 + 4 + 16 + 8 + 64
 // EncodeOperator serialises op as an operator artifact stored under key.
 // The CSR arrays are written verbatim (fixed-width little-endian), so the
 // payload can later be memory-mapped and applied with zero copies.
+// Operators carrying row-congruence templates are written as version 2
+// containers (the template sections are load-bearing); plain operators
+// stay version 1 for older readers.
 func EncodeOperator(w io.Writer, key string, op *operator.Operator) (int64, error) {
-	buf := encodeContainer(KindOperator, operatorSections(key, op))
+	version := uint16(Version)
+	if op.Tpl != nil {
+		version = VersionTemplated
+	}
+	buf := encodeContainer(version, KindOperator, operatorSections(key, op))
 	n, err := w.Write(buf)
 	return int64(n), err
 }
@@ -282,6 +289,11 @@ func operatorSectionLens(key string, op *operator.Operator) []uint64 {
 		8 * uint64(len(op.RowPtr)), 4 * uint64(len(op.ColInd)), 8 * uint64(len(op.Val))}
 	if op.Perm != nil {
 		lens = append(lens, 4*uint64(len(op.Perm)))
+	}
+	if op.Tpl != nil {
+		lens = append(lens,
+			8*uint64(len(op.Tpl.TplPtr)), 4*uint64(len(op.Tpl.TplDelta)), 8*uint64(len(op.Tpl.TplVal)),
+			4*uint64(len(op.Tpl.RowTpl)), 4*uint64(len(op.Tpl.RowBase)))
 	}
 	return lens
 }
@@ -311,6 +323,22 @@ func operatorSections(key string, op *operator.Operator) []section {
 		perm := make([]byte, 4*len(op.Perm))
 		putI32s(perm, op.Perm)
 		secs = append(secs, section{SecPerm, perm})
+	}
+	if ts := op.Tpl; ts != nil {
+		tplPtr := make([]byte, 8*len(ts.TplPtr))
+		putI64s(tplPtr, ts.TplPtr)
+		tplDelta := make([]byte, 4*len(ts.TplDelta))
+		putI32s(tplDelta, ts.TplDelta)
+		rowTpl := make([]byte, 4*len(ts.RowTpl))
+		putI32s(rowTpl, ts.RowTpl)
+		rowBase := make([]byte, 4*len(ts.RowBase))
+		putI32s(rowBase, ts.RowBase)
+		secs = append(secs,
+			section{SecTplPtr, tplPtr},
+			section{SecTplDelta, tplDelta},
+			section{SecTplVal, encodeF64s(ts.TplVal)},
+			section{SecRowTpl, rowTpl},
+			section{SecRowBase, rowBase})
 	}
 	return secs
 }
@@ -401,6 +429,72 @@ func validateCSR(sh opShape, rowPtr []int64, colInd []int32, val []float64, perm
 	return nil
 }
 
+// tplSections lists the five template section types; a valid container
+// carries all of them or none.
+var tplSections = []uint32{SecTplPtr, SecTplDelta, SecTplVal, SecRowTpl, SecRowBase}
+
+// decodeTemplates reads the optional row-congruence template sections into
+// a TemplateSet via the portable sequential path; nil when absent.
+func (c *Container) decodeTemplates() (*operator.TemplateSet, error) {
+	present := 0
+	for _, typ := range tplSections {
+		if _, ok := c.Section(typ); ok {
+			present++
+		}
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	if present != len(tplSections) {
+		return nil, fmt.Errorf("%w: %d of %d template sections present", ErrCorrupt, present, len(tplSections))
+	}
+	read := func(typ uint32) ([]byte, error) { return c.ReadSection(typ) }
+	rawPtr, err := read(SecTplPtr)
+	if err != nil {
+		return nil, err
+	}
+	tplPtr, err := decodeI64s(rawPtr)
+	if err != nil {
+		return nil, err
+	}
+	rawDelta, err := read(SecTplDelta)
+	if err != nil {
+		return nil, err
+	}
+	tplDelta, err := decodeI32s(rawDelta)
+	if err != nil {
+		return nil, err
+	}
+	rawVal, err := read(SecTplVal)
+	if err != nil {
+		return nil, err
+	}
+	tplVal, err := decodeF64s(rawVal)
+	if err != nil {
+		return nil, err
+	}
+	rawRowTpl, err := read(SecRowTpl)
+	if err != nil {
+		return nil, err
+	}
+	rowTpl, err := decodeI32s(rawRowTpl)
+	if err != nil {
+		return nil, err
+	}
+	rawRowBase, err := read(SecRowBase)
+	if err != nil {
+		return nil, err
+	}
+	rowBase, err := decodeI32s(rawRowBase)
+	if err != nil {
+		return nil, err
+	}
+	return &operator.TemplateSet{
+		TplPtr: tplPtr, TplDelta: tplDelta, TplVal: tplVal,
+		RowTpl: rowTpl, RowBase: rowBase,
+	}, nil
+}
+
 // DecodeOperator parses an operator artifact into a heap-resident
 // operator: the portable load path, one sequential decode pass over the
 // fixed-width arrays. For the zero-copy path see MapOperator.
@@ -468,11 +562,20 @@ func (c *Container) DecodeOperator(key string) (*operator.Operator, error) {
 	if err := validateCSR(sh, rowPtr, colInd, val, perm); err != nil {
 		return nil, err
 	}
-	return &operator.Operator{
+	tpl, err := c.decodeTemplates()
+	if err != nil {
+		return nil, err
+	}
+	op := &operator.Operator{
 		Rows: sh.rows, Cols: sh.cols, BasisN: sh.basisN,
 		RowPtr: rowPtr, ColInd: colInd, Val: val, Perm: perm,
+		Tpl:            tpl,
 		Workers:        sh.workers,
 		AssemblyScheme: sh.scheme,
 		AssemblyWall:   sh.wall, AssemblyCounters: sh.counters,
-	}, nil
+	}
+	if err := op.ValidateTemplates(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return op, nil
 }

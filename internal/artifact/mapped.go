@@ -173,13 +173,63 @@ func mapOperator(m *Mapping, key string) (*operator.Operator, error) {
 	if err := validateCSR(sh, rowPtr, colInd, val, perm); err != nil {
 		return nil, err
 	}
-	return &operator.Operator{
+	tpl, err := c.mapTemplates(m.data)
+	if err != nil {
+		return nil, err
+	}
+	op := &operator.Operator{
 		Rows: sh.rows, Cols: sh.cols, BasisN: sh.basisN,
 		RowPtr: rowPtr, ColInd: colInd, Val: val, Perm: perm,
+		Tpl:            tpl,
 		Workers:        sh.workers,
 		AssemblyScheme: sh.scheme,
 		AssemblyWall:   sh.wall, AssemblyCounters: sh.counters,
 		Backing: m,
+	}
+	if err := op.ValidateTemplates(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return op, nil
+}
+
+// mapTemplates aliases the optional template sections out of the mapping,
+// mirroring decodeTemplates for the zero-copy path.
+func (c *Container) mapTemplates(data []byte) (*operator.TemplateSet, error) {
+	present := 0
+	for _, typ := range tplSections {
+		if _, ok := c.Section(typ); ok {
+			present++
+		}
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	if present != len(tplSections) {
+		return nil, fmt.Errorf("%w: %d of %d template sections present", ErrCorrupt, present, len(tplSections))
+	}
+	rawPtr, err := c.alignedSection(data, SecTplPtr, 8)
+	if err != nil {
+		return nil, err
+	}
+	rawDelta, err := c.alignedSection(data, SecTplDelta, 4)
+	if err != nil {
+		return nil, err
+	}
+	rawVal, err := c.alignedSection(data, SecTplVal, 8)
+	if err != nil {
+		return nil, err
+	}
+	rawRowTpl, err := c.alignedSection(data, SecRowTpl, 4)
+	if err != nil {
+		return nil, err
+	}
+	rawRowBase, err := c.alignedSection(data, SecRowBase, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &operator.TemplateSet{
+		TplPtr: castI64s(rawPtr), TplDelta: castI32s(rawDelta), TplVal: castF64s(rawVal),
+		RowTpl: castI32s(rawRowTpl), RowBase: castI32s(rawRowBase),
 	}, nil
 }
 

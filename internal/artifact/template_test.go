@@ -1,0 +1,197 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"unstencil/internal/metrics"
+	"unstencil/internal/operator"
+)
+
+// congruentOperator builds an operator whose rows are exact column
+// translates of a few shared stencil patterns, then compresses it — the
+// shape a structured mesh produces after Templatize.
+func congruentOperator(t testing.TB, rows, elems, basisN int) (plain, templated *operator.Operator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	patterns := [][]float64{
+		make([]float64, 4*basisN), make([]float64, 6*basisN),
+	}
+	for _, p := range patterns {
+		for i := range p {
+			p[i] = rng.NormFloat64()
+			if i%2 == 1 {
+				p[i] = -p[i]
+			}
+		}
+	}
+	b := operator.NewBuilder(rows, elems*basisN, basisN)
+	for r := 0; r < rows; r++ {
+		p := patterns[rng.Intn(len(patterns))]
+		e0 := rng.Intn(elems - 6)
+		ci := make([]int32, len(p))
+		for i := range ci {
+			ci[i] = int32(e0*basisN + i)
+		}
+		b.SetRow(r, ci, p)
+	}
+	plain = b.Finish(nil, 2, "per-point", time.Millisecond, metrics.Counters{Regions: 3})
+	templated = plain.Templatize()
+	if templated.Tpl == nil {
+		t.Fatal("congruent operator did not templatize")
+	}
+	return plain, templated
+}
+
+// A templated operator must round-trip through a version 2 container —
+// templates, side tables, and apply results all bitwise — on both the
+// portable and the mapped load path, and the container must shrink
+// against the plain encoding.
+func TestTemplatedOperatorRoundTrip(t *testing.T) {
+	plain, topl := congruentOperator(t, 300, 80, 3)
+	key := "op:test/p2/g4/periodic"
+	dataPlain := encodeOp(t, key, plain)
+	dataTpl := encodeOp(t, key, topl)
+
+	if got := EncodedOperatorSize(key, topl); got != int64(len(dataTpl)) {
+		t.Fatalf("EncodedOperatorSize = %d, file is %d", got, len(dataTpl))
+	}
+	if len(dataTpl) >= len(dataPlain) {
+		t.Fatalf("templated container (%d B) not smaller than plain (%d B)", len(dataTpl), len(dataPlain))
+	}
+	if v := binary.LittleEndian.Uint16(dataTpl[4:6]); v != VersionTemplated {
+		t.Fatalf("templated container has version %d, want %d", v, VersionTemplated)
+	}
+	if v := binary.LittleEndian.Uint16(dataPlain[4:6]); v != Version {
+		t.Fatalf("plain container has version %d, want %d", v, Version)
+	}
+
+	got, err := DecodeOperator(bytes.NewReader(dataTpl), int64(len(dataTpl)), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tpl == nil {
+		t.Fatal("decode dropped the templates")
+	}
+	sameTemplates(t, got.Tpl, topl.Tpl)
+
+	path := filepath.Join(t.TempDir(), "op.art")
+	if err := os.WriteFile(path, dataTpl, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mop, viaMap, err := MapOperator(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mmapSupported && hostLittleEndian && !viaMap {
+		t.Error("mmap supported but MapOperator fell back")
+	}
+	if mop.Tpl == nil {
+		t.Fatal("mapped operator dropped the templates")
+	}
+	sameTemplates(t, mop.Tpl, topl.Tpl)
+
+	// Apply bitwise identity across plain / decoded / mapped.
+	rng := rand.New(rand.NewSource(9))
+	coeffs := make([]float64, plain.Cols)
+	for i := range coeffs {
+		coeffs[i] = rng.NormFloat64()
+	}
+	want := make([]float64, plain.Rows)
+	if err := plain.ApplyVec(coeffs, want, 1); err != nil {
+		t.Fatal(err)
+	}
+	for name, o := range map[string]*operator.Operator{"decoded": got, "mapped": mop} {
+		out := make([]float64, plain.Rows)
+		if err := o.ApplyVec(coeffs, out, 2); err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if math.Float64bits(out[r]) != math.Float64bits(want[r]) {
+				t.Fatalf("%s row %d: %x vs %x", name, r, math.Float64bits(out[r]), math.Float64bits(want[r]))
+			}
+		}
+	}
+	if m, ok := mop.Backing.(*Mapping); ok {
+		_ = m.Close()
+	}
+}
+
+func sameTemplates(t *testing.T, got, want *operator.TemplateSet) {
+	t.Helper()
+	if got.NumTemplates() != want.NumTemplates() {
+		t.Fatalf("%d templates, want %d", got.NumTemplates(), want.NumTemplates())
+	}
+	for i := range want.TplPtr {
+		if got.TplPtr[i] != want.TplPtr[i] {
+			t.Fatalf("tplptr[%d] = %d, want %d", i, got.TplPtr[i], want.TplPtr[i])
+		}
+	}
+	for i := range want.TplVal {
+		if got.TplDelta[i] != want.TplDelta[i] ||
+			math.Float64bits(got.TplVal[i]) != math.Float64bits(want.TplVal[i]) {
+			t.Fatalf("template entry %d differs", i)
+		}
+	}
+	for i := range want.RowTpl {
+		if got.RowTpl[i] != want.RowTpl[i] || got.RowBase[i] != want.RowBase[i] {
+			t.Fatalf("row table entry %d differs", i)
+		}
+	}
+}
+
+// Partial template sections are corruption, not a degraded load.
+func TestPartialTemplateSectionsRejected(t *testing.T) {
+	_, topl := congruentOperator(t, 200, 60, 2)
+	key := "op:k"
+	data := encodeOp(t, key, topl)
+	c, err := Parse(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retype the RowBase section to an unknown id: now only 4 of 5
+	// template sections are present. Patch the table entry in place.
+	idx := -1
+	for i, s := range c.Sections {
+		if s.Type == SecRowBase {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no RowBase section")
+	}
+	bad := bytes.Clone(data)
+	binary.LittleEndian.PutUint32(bad[headerSize+idx*entrySize:], 200) // unknown type
+	_, err = DecodeOperator(bytes.NewReader(bad), int64(len(bad)), key)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// A template row table pointing at a template that does not exist must be
+// rejected by the decode-time validation.
+func TestTemplateValidationAtDecode(t *testing.T) {
+	_, topl := congruentOperator(t, 200, 60, 2)
+	broken := *topl
+	ts := *topl.Tpl
+	ts.RowTpl = append([]int32(nil), topl.Tpl.RowTpl...)
+	for i := range ts.RowTpl {
+		if ts.RowTpl[i] >= 0 {
+			ts.RowTpl[i] = int32(ts.NumTemplates()) // dangling id
+			break
+		}
+	}
+	broken.Tpl = &ts
+	data := encodeOp(t, "op:k", &broken)
+	_, err := DecodeOperator(bytes.NewReader(data), int64(len(data)), "op:k")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

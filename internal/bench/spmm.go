@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+	"unstencil/internal/operator"
+)
+
+// SpMMConfig parameterises the batched-apply sweep cmd/unstencil-bench runs
+// with -spmm and CI records as BENCH_PR8.json. The sweep answers two
+// questions the SpMM path exists for: how much does batching F fields into
+// one ApplyBlock save over F independent ApplyVec calls, and what does
+// row-congruence template compression cost (or save) at apply time.
+type SpMMConfig struct {
+	// Size is the structured-mesh resolution (Size×Size quads, two
+	// triangles each). A power of two keeps the element spacing dyadic, so
+	// element translations are bitwise exact and the assembled rows are
+	// template-congruent — the regime the templated variant measures.
+	Size int
+	// Orders are the dG polynomial orders swept.
+	Orders []int
+	// Fields are the batch widths swept.
+	Fields []int
+	// Workers bounds apply concurrency; 0 follows GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DefaultSpMMConfig: a 16×16 structured mesh already gives a ~79 MB P2
+// operator — far out of last-level cache — so the sweep measures the
+// memory-bound regime the field-tiling targets at CI-friendly cost.
+func DefaultSpMMConfig() SpMMConfig {
+	return SpMMConfig{Size: 16, Orders: []int{1, 2}, Fields: []int{1, 2, 4, 8, 16}}
+}
+
+// EffectiveWorkers resolves the configured worker count against GOMAXPROCS.
+func (c SpMMConfig) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SpMMShape is one order's operator shape, in both storage forms.
+type SpMMShape struct {
+	P             int   `json:"p"`
+	Rows          int   `json:"rows"`
+	Cols          int   `json:"cols"`
+	NNZ           int   `json:"nnz"`
+	BytesPlain    int64 `json:"bytes_plain"`
+	BytesTpl      int64 `json:"bytes_templated"`
+	BytesSaved    int64 `json:"bytes_saved"`
+	Templates     int   `json:"templates"`
+	TemplatedRows int   `json:"templated_rows"`
+}
+
+// SpMMResult is one (order, batch width, storage form) measurement.
+type SpMMResult struct {
+	P         int  `json:"p"`
+	Fields    int  `json:"fields"`
+	Templated bool `json:"templated"`
+
+	// BlockNsPerOp is one ApplyBlock over all Fields fields; PerFieldNsPerOp
+	// is the baseline — Fields independent ApplyVec calls on the plain
+	// operator. Speedup is their ratio.
+	BlockNsPerOp    float64 `json:"block_ns_per_op"`
+	PerFieldNsPerOp float64 `json:"per_field_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+
+	// MaxDiff is the worst |batched − per-field| disagreement, computed on
+	// the exact bit patterns: the batched and templated paths promise bit
+	// identity, so anything other than 0 is a defect the trajectory file
+	// records.
+	MaxDiff float64 `json:"max_diff"`
+}
+
+// SpMMReport is the BENCH_PR8.json document.
+type SpMMReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Config     SpMMConfig   `json:"config"`
+	Shapes     []SpMMShape  `json:"shapes"`
+	Results    []SpMMResult `json:"results"`
+}
+
+// RunSpMM executes the sweep.
+func RunSpMM(cfg SpMMConfig) (*SpMMReport, error) {
+	if cfg.Size <= 0 {
+		cfg = DefaultSpMMConfig()
+	}
+	rep := &SpMMReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Config:     cfg,
+	}
+	m := mesh.Structured(cfg.Size)
+	workers := cfg.EffectiveWorkers()
+	for _, p := range cfg.Orders {
+		f := dg.Project(m, p, testField, 2)
+		ev, err := core.NewEvaluator(f, core.Options{P: p, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		plain, err := ev.AssembleOperator(core.AssembleOpts{})
+		if err != nil {
+			return nil, err
+		}
+		topl := plain.Templatize()
+		if topl.Tpl == nil {
+			return nil, fmt.Errorf("p=%d: structured mesh %d did not templatize", p, cfg.Size)
+		}
+		st := plain.Stats()
+		rep.Shapes = append(rep.Shapes, SpMMShape{
+			P: p, Rows: st.Rows, Cols: plain.Cols, NNZ: st.NNZ,
+			BytesPlain: plain.Bytes(), BytesTpl: topl.Bytes(), BytesSaved: topl.BytesSaved(),
+			Templates: topl.Tpl.NumTemplates(), TemplatedRows: topl.Tpl.TemplatedRows(),
+		})
+
+		maxF := 0
+		for _, nf := range cfg.Fields {
+			maxF = max(maxF, nf)
+		}
+		coeffs := syntheticFields(ev.Field.Coeffs, maxF)
+		for _, nf := range cfg.Fields {
+			// Baseline: nf independent plain SpMVs, measured once per width.
+			want := applyPerField(plain, coeffs[:nf], workers)
+			base := benchNs(func() {
+				outs := applyPerField(plain, coeffs[:nf], workers)
+				putAll(outs)
+			})
+			for _, variant := range []struct {
+				op        *operator.Operator
+				templated bool
+			}{{plain, false}, {topl, true}} {
+				res := SpMMResult{P: p, Fields: nf, Templated: variant.templated, PerFieldNsPerOp: base}
+				outs := make([][]float64, nf)
+				for i := range outs {
+					outs[i] = make([]float64, variant.op.Rows)
+				}
+				if err := variant.op.ApplyBlock(coeffs[:nf], outs, workers); err != nil {
+					return nil, err
+				}
+				for i := range outs {
+					for j := range outs[i] {
+						if b := math.Float64bits(outs[i][j]); b != math.Float64bits(want[i][j]) {
+							if d := math.Abs(outs[i][j] - want[i][j]); d > res.MaxDiff {
+								res.MaxDiff = d
+							}
+							if res.MaxDiff == 0 { // differing bits of equal value (±0)
+								res.MaxDiff = math.SmallestNonzeroFloat64
+							}
+						}
+					}
+				}
+				res.BlockNsPerOp = benchNs(func() {
+					if err := variant.op.ApplyBlock(coeffs[:nf], outs, workers); err != nil {
+						panic(err)
+					}
+				})
+				if res.BlockNsPerOp > 0 {
+					res.Speedup = base / res.BlockNsPerOp
+				}
+				rep.Results = append(rep.Results, res)
+			}
+			putAll(want)
+		}
+	}
+	return rep, nil
+}
+
+// syntheticFields derives nf deterministic coefficient vectors from one
+// projected field: the first is the field itself, the rest are fixed-seed
+// perturbations with the same magnitude profile (what a time series of the
+// same physical field looks like to the SpMM).
+func syntheticFields(base []float64, nf int) [][]float64 {
+	coeffs := make([][]float64, nf)
+	coeffs[0] = base
+	for i := 1; i < nf; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		c := make([]float64, len(base))
+		for j := range c {
+			c[j] = base[j] * (1 + 0.1*rng.NormFloat64())
+		}
+		coeffs[i] = c
+	}
+	return coeffs
+}
+
+// applyPerField is the baseline path: one plain SpMV per field, outputs
+// drawn from the apply-vector pool.
+func applyPerField(op *operator.Operator, coeffs [][]float64, workers int) [][]float64 {
+	outs := make([][]float64, len(coeffs))
+	for i := range coeffs {
+		outs[i] = operator.GetVec(op.Rows)
+		if err := op.ApplyVec(coeffs[i], outs[i], workers); err != nil {
+			panic(err)
+		}
+	}
+	return outs
+}
+
+func putAll(outs [][]float64) {
+	for _, o := range outs {
+		operator.PutVec(o)
+	}
+}
+
+func benchNs(fn func()) float64 {
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return float64(br.T.Nanoseconds()) / float64(br.N)
+}
+
+// Fprint renders the sweep as a table.
+func (rep *SpMMReport) Fprint(w *os.File) {
+	for _, s := range rep.Shapes {
+		fmt.Fprintf(w, "P%d: %d rows, %d nnz, %d templates cover %d rows, %d B plain -> %d B templated (%d B saved)\n",
+			s.P, s.Rows, s.NNZ, s.Templates, s.TemplatedRows, s.BytesPlain, s.BytesTpl, s.BytesSaved)
+	}
+	fmt.Fprintf(w, "%-4s %7s %10s %14s %14s %9s %10s\n",
+		"P", "fields", "storage", "block ns/op", "perfield ns", "speedup", "max diff")
+	for _, r := range rep.Results {
+		storage := "plain"
+		if r.Templated {
+			storage = "templated"
+		}
+		fmt.Fprintf(w, "P%-3d %7d %10s %14.0f %14.0f %8.2fx %10.2e\n",
+			r.P, r.Fields, storage, r.BlockNsPerOp, r.PerFieldNsPerOp, r.Speedup, r.MaxDiff)
+	}
+}
+
+// Save writes the report as stable, indented JSON.
+func (rep *SpMMReport) Save(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GHAEntry is one benchmark point in the JSON array format consumed by the
+// github-action-benchmark action's "customSmallerIsBetter" tool (which
+// renders it into its windowed data.js trajectory on the gh-pages side).
+type GHAEntry struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// GHA flattens the sweep into github-action-benchmark entries: one ns/op
+// point per (order, width, storage) plus the per-order resident byte sizes.
+func (rep *SpMMReport) GHA() []GHAEntry {
+	var out []GHAEntry
+	for _, r := range rep.Results {
+		storage := "plain"
+		if r.Templated {
+			storage = "templated"
+		}
+		out = append(out, GHAEntry{
+			Name:  fmt.Sprintf("spmm/p%d/f%d/%s", r.P, r.Fields, storage),
+			Unit:  "ns/op",
+			Value: r.BlockNsPerOp,
+			Extra: fmt.Sprintf("%.2fx vs per-field", r.Speedup),
+		})
+	}
+	for _, s := range rep.Shapes {
+		out = append(out, GHAEntry{
+			Name:  fmt.Sprintf("spmm/p%d/resident_bytes_templated", s.P),
+			Unit:  "bytes",
+			Value: float64(s.BytesTpl),
+			Extra: fmt.Sprintf("plain %d B, saved %d B", s.BytesPlain, s.BytesSaved),
+		})
+	}
+	return out
+}
+
+// SaveGHA writes the github-action-benchmark JSON array.
+func (rep *SpMMReport) SaveGHA(path string) error {
+	data, err := json.MarshalIndent(rep.GHA(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"unstencil/internal/artifact"
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+	"unstencil/internal/operator"
+)
+
+// TestSpMMSmoke is the CI bit-identity gate the spmm-smoke job runs under
+// -race: assemble on a dyadic structured mesh, batch 8 synthetic fields
+// through ApplyBlock on the plain, templated, and mmap-loaded forms of the
+// operator, and require (a) every form bit-identical to per-field plain
+// ApplyVec, and (b) the first field within 1e-12 of direct per-point
+// evaluation.
+func TestSpMMSmoke(t *testing.T) {
+	m := mesh.Structured(8)
+	f := dg.Project(m, 1, testField, 2)
+	ev, err := core.NewEvaluator(f, core.Options{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ev.AssembleOperator(core.AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topl := plain.Templatize()
+	if topl.Tpl == nil {
+		t.Fatal("dyadic structured mesh did not templatize")
+	}
+
+	// mmap leg: round-trip the templated operator through the store.
+	store, err := artifact.NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "op:spmm-smoke"
+	if err := store.SaveOperator(key, topl); err != nil {
+		t.Fatal(err)
+	}
+	mop, _, err := store.LoadOperator(key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nf = 8
+	coeffs := syntheticFields(ev.Field.Coeffs, nf)
+	want := make([][]float64, nf)
+	for i := range want {
+		want[i] = make([]float64, plain.Rows)
+		if err := plain.ApplyVec(coeffs[i], want[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for name, op := range map[string]*operator.Operator{"plain": plain, "templated": topl, "mmap": mop} {
+		outs := make([][]float64, nf)
+		for i := range outs {
+			outs[i] = make([]float64, op.Rows)
+		}
+		if err := op.ApplyBlock(coeffs, outs, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range outs {
+			for j := range outs[i] {
+				if math.Float64bits(outs[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("%s: field %d point %d: %v != per-field %v",
+						name, i, j, outs[i][j], want[i][j])
+				}
+			}
+		}
+	}
+
+	direct, err := ev.RunPerPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range want[0] {
+		if d := math.Abs(want[0][i] - direct.Solution[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-12 {
+		t.Errorf("apply vs direct max diff %.3e > 1e-12", worst)
+	}
+}

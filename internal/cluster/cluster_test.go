@@ -690,3 +690,72 @@ func TestCoordinatorReadyzAndMetrics(t *testing.T) {
 		t.Error("cluster counters missing from metrics")
 	}
 }
+
+// TestClusterMultiFieldOperatorJob: a multi-field operator job is
+// forwarded whole to the mesh's home shard — the coordinator validates the
+// batched field list at its front door and proxies the per-field solutions
+// back bit-identically to the equivalent single-field submissions.
+func TestClusterMultiFieldOperatorJob(t *testing.T) {
+	_, tsA := newShard(t)
+	_, tsB := newShard(t)
+	_, cts := newCluster(t, Config{Shards: []string{tsA.URL, tsB.URL}})
+	m := mesh.Structured(8)
+	meshID := uploadMesh(t, cts.URL, m)
+	names := []string{"sincos", "gauss"}
+
+	run := func(spec server.JobSpec) (JobView, map[string]json.RawMessage) {
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if code := postJSON(t, cts.URL+"/v1/jobs", spec, &sub); code != http.StatusAccepted {
+			t.Fatalf("submit %+v: status %d", spec, code)
+		}
+		v := waitClusterJob(t, cts.URL, sub.ID, 120*time.Second)
+		if v.State != server.StateDone {
+			t.Fatalf("job %s: state %s err %q", sub.ID, v.State, v.Error)
+		}
+		var res map[string]json.RawMessage
+		if code := getJSON(t, cts.URL+"/v1/jobs/"+sub.ID+"/result", &res); code != http.StatusOK {
+			t.Fatalf("result status %d", code)
+		}
+		return v, res
+	}
+
+	single := make(map[string][]float64)
+	for _, f := range names {
+		_, res := run(server.JobSpec{MeshID: meshID, Scheme: "operator", P: 1, Field: f})
+		var sol []float64
+		if err := json.Unmarshal(res["solution"], &sol); err != nil {
+			t.Fatal(err)
+		}
+		single[f] = sol
+	}
+
+	_, res := run(server.JobSpec{MeshID: meshID, Scheme: "operator", P: 1, Fields: names})
+	var sols [][]float64
+	if res["solutions"] == nil {
+		t.Fatalf("routed multi-field result carries no solutions: keys %v", res)
+	}
+	if err := json.Unmarshal(res["solutions"], &sols); err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(names) {
+		t.Fatalf("%d solutions, want %d", len(sols), len(names))
+	}
+	for i, f := range names {
+		if len(sols[i]) != len(single[f]) {
+			t.Fatalf("field %s: %d points, want %d", f, len(sols[i]), len(single[f]))
+		}
+		for j := range sols[i] {
+			if sols[i][j] != single[f][j] {
+				t.Fatalf("field %s point %d: routed batch %v != single %v", f, j, sols[i][j], single[f][j])
+			}
+		}
+	}
+
+	// Bad batched field lists die at the coordinator's front door.
+	if code := postJSON(t, cts.URL+"/v1/jobs",
+		server.JobSpec{MeshID: meshID, Scheme: "per-point", P: 1, Fields: names}, nil); code != http.StatusBadRequest {
+		t.Errorf("fields on per-point accepted by the coordinator with status %d", code)
+	}
+}

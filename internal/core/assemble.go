@@ -424,9 +424,21 @@ func (ev *Evaluator) assembleElement(e int32, wk *worker, add func(pt int32)) er
 // leaves wk.wacc unspecified). Contracting the result with the element's
 // modal coefficients reproduces integrate's value up to summation-order
 // rounding.
+//
+// Unlike the direct path, every geometric quantity here is computed in
+// stencil-local coordinates (the element translated by -center, kernel
+// cells at exact offsets h·(blo+i) from the origin). The weights are
+// translation-invariant in exact arithmetic, and working in local
+// coordinates makes them translation-invariant in floating point too
+// whenever the inputs are exact translates: two stencils whose element
+// geometry differs by an exactly-representable shift see bitwise-identical
+// local vertices and therefore produce bitwise-identical weight rows. That
+// is what the operator package's row-congruence template dedup keys on —
+// interior points of a (near-)structured mesh collapse to a handful of
+// shared stencil templates.
 func (ev *Evaluator) integrateWeights(center geom.Point, e int32, wk *worker) bool {
 	bb := ev.elemBounds[e]
-	tri := ev.Mesh.Triangle(int(e))
+	tri := ev.Mesh.Triangle(int(e)).Translate(geom.Pt(-center.X, -center.Y))
 	h := ev.H
 	kx, ky := wk.kx, wk.ky
 	bxlo, _ := kx.Support()
@@ -463,10 +475,10 @@ func (ev *Evaluator) integrateWeights(center geom.Point, e int32, wk *worker) bo
 
 	integrated := false
 	for j := j0; j <= j1; j++ {
-		cy0 := center.Y + h*(bylo+float64(j))
+		cy0 := h * (bylo + float64(j))
 		py := ky.Piece(j)
 		for i := i0; i <= i1; i++ {
-			cx0 := center.X + h*(bxlo+float64(i))
+			cx0 := h * (bxlo + float64(i))
 			px := kx.Piece(i)
 			cell := geom.Box(cx0, cy0, cx0+h, cy0+h)
 			poly := wk.clip.ClipTriangleBox(tri, cell)

@@ -1,0 +1,75 @@
+package metrics
+
+import "sync/atomic"
+
+// OperatorCounters tracks the assembled-operator apply traffic and the
+// row-congruence template compression the server is getting out of it.
+// All fields are atomics: applies run concurrently on job workers and
+// query goroutines.
+type OperatorCounters struct {
+	// SingleApplies counts one-field applies (ApplyVec/ApplyInto paths).
+	SingleApplies atomic.Uint64
+	// BlockApplies counts batched multi-field applies (ApplyBlock paths).
+	BlockApplies atomic.Uint64
+	// FieldsApplied counts total fields post-processed across both paths;
+	// FieldsApplied / (SingleApplies + BlockApplies) is the mean batch
+	// width the SpMM is amortising the operator stream over.
+	FieldsApplied atomic.Uint64
+
+	// RowsTemplated / RowsTotal accumulate, per operator admitted to the
+	// cache, how many storage rows were deduplicated into shared stencil
+	// templates; their ratio is the template hit-rate.
+	RowsTemplated atomic.Uint64
+	RowsTotal     atomic.Uint64
+	// BytesSaved accumulates resident bytes saved by template dedup
+	// (plain CSR size minus compressed size) across admitted operators.
+	BytesSaved atomic.Uint64
+}
+
+// RecordApply folds one apply of nf fields into the counters.
+func (o *OperatorCounters) RecordApply(nf int) {
+	if nf <= 1 {
+		o.SingleApplies.Add(1)
+	} else {
+		o.BlockApplies.Add(1)
+	}
+	o.FieldsApplied.Add(uint64(nf))
+}
+
+// RecordTemplates folds one operator's compression outcome into the
+// counters: total storage rows, rows resolved through a template, and the
+// byte delta against the plain CSR form (0 for untemplated operators).
+func (o *OperatorCounters) RecordTemplates(rowsTotal, rowsTemplated int, bytesSaved int64) {
+	o.RowsTotal.Add(uint64(rowsTotal))
+	o.RowsTemplated.Add(uint64(rowsTemplated))
+	if bytesSaved > 0 {
+		o.BytesSaved.Add(uint64(bytesSaved))
+	}
+}
+
+// OperatorSnapshot is the JSON view of OperatorCounters.
+type OperatorSnapshot struct {
+	SingleApplies   uint64  `json:"single_applies"`
+	BlockApplies    uint64  `json:"block_applies"`
+	FieldsApplied   uint64  `json:"fields_applied"`
+	RowsTemplated   uint64  `json:"rows_templated"`
+	RowsTotal       uint64  `json:"rows_total"`
+	TemplateHitRate float64 `json:"template_hit_rate"`
+	BytesSaved      uint64  `json:"bytes_saved"`
+}
+
+// Snapshot reads all counters at one (non-atomic across fields) instant.
+func (o *OperatorCounters) Snapshot() OperatorSnapshot {
+	s := OperatorSnapshot{
+		SingleApplies: o.SingleApplies.Load(),
+		BlockApplies:  o.BlockApplies.Load(),
+		FieldsApplied: o.FieldsApplied.Load(),
+		RowsTemplated: o.RowsTemplated.Load(),
+		RowsTotal:     o.RowsTotal.Load(),
+		BytesSaved:    o.BytesSaved.Load(),
+	}
+	if s.RowsTotal > 0 {
+		s.TemplateHitRate = float64(s.RowsTemplated) / float64(s.RowsTotal)
+	}
+	return s
+}

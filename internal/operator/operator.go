@@ -54,6 +54,13 @@ type Operator struct {
 	// nearby (often identical) coefficient blocks.
 	Perm []int32
 
+	// Tpl holds the row-congruence stencil templates when the operator has
+	// been compressed by Templatize; nil for plain CSR operators. Rows
+	// with Tpl.RowTpl[r] >= 0 store no CSR entries — rowSpan resolves them
+	// through the shared template — so len(Val) undercounts the logical
+	// nnz for templated operators (see NNZ vs StoredNNZ).
+	Tpl *TemplateSet
+
 	// Workers is the default Apply concurrency, stamped at assembly time;
 	// <= 1 applies serially.
 	Workers int
@@ -75,13 +82,49 @@ type Operator struct {
 	AssemblyCounters metrics.Counters
 }
 
-// NNZ returns the number of stored entries.
-func (op *Operator) NNZ() int { return len(op.Val) }
+// NNZ returns the logical number of entries — the terms one apply
+// multiplies — counting each templated row's shared entries once per row.
+// For plain operators this is len(Val).
+func (op *Operator) NNZ() int {
+	n := len(op.Val)
+	if op.Tpl != nil {
+		for _, t := range op.Tpl.RowTpl {
+			if t >= 0 {
+				n += int(op.Tpl.TplPtr[t+1] - op.Tpl.TplPtr[t])
+			}
+		}
+	}
+	return n
+}
 
-// Bytes returns the resident size of the CSR arrays.
+// StoredNNZ returns the number of physically stored (column, value) pairs:
+// the plain CSR entries plus one copy of each template. Equal to NNZ for
+// plain operators; the templated/plain ratio is the dedup factor.
+func (op *Operator) StoredNNZ() int { return len(op.Val) + len(op.TplVals()) }
+
+// TplVals returns the template value array (nil for plain operators).
+func (op *Operator) TplVals() []float64 {
+	if op.Tpl == nil {
+		return nil
+	}
+	return op.Tpl.TplVal
+}
+
+// Bytes returns the resident size of the CSR and template arrays.
 func (op *Operator) Bytes() int64 {
 	return int64(len(op.Val))*8 + int64(len(op.ColInd))*4 +
-		int64(len(op.RowPtr))*8 + int64(len(op.Perm))*4
+		int64(len(op.RowPtr))*8 + int64(len(op.Perm))*4 + op.Tpl.Bytes()
+}
+
+// BytesSaved returns how many resident bytes template dedup is saving
+// against the equivalent plain CSR encoding (0 for plain operators; never
+// negative, since Templatize only keeps a net-saving compression).
+func (op *Operator) BytesSaved() int64 {
+	if op.Tpl == nil {
+		return 0
+	}
+	plain := int64(op.NNZ())*12 + int64(len(op.RowPtr))*8 + int64(len(op.Perm))*4
+	return max(plain-op.Bytes(), 0)
 }
 
 // Stats is the shape summary the bench harness reports.
@@ -92,6 +135,11 @@ type Stats struct {
 	Bytes       int64   `json:"bytes"`
 	NNZPerRow   float64 `json:"nnz_per_row"`
 	BytesPerRow float64 `json:"bytes_per_row"`
+
+	// Template compression shape; zero for plain operators.
+	StoredNNZ     int `json:"stored_nnz,omitempty"`
+	Templates     int `json:"templates,omitempty"`
+	TemplatedRows int `json:"templated_rows,omitempty"`
 }
 
 // Stats summarises the operator's shape.
@@ -100,6 +148,11 @@ func (op *Operator) Stats() Stats {
 	if op.Rows > 0 {
 		s.NNZPerRow = float64(s.NNZ) / float64(op.Rows)
 		s.BytesPerRow = float64(s.Bytes) / float64(op.Rows)
+	}
+	if op.Tpl != nil {
+		s.StoredNNZ = op.StoredNNZ()
+		s.Templates = op.Tpl.NumTemplates()
+		s.TemplatedRows = op.Tpl.TemplatedRows()
 	}
 	return s
 }
@@ -173,9 +226,10 @@ func (op *Operator) ApplyVec(coeffs []float64, out []float64, workers int) error
 // the apply path's rounding below the direct schemes' own noise floor.
 func (op *Operator) applyRows(coeffs, out []float64, lo, hi int) {
 	for r := lo; r < hi; r++ {
+		vals, cols, base := op.rowSpan(r)
 		sum, comp := 0.0, 0.0
-		for i := op.RowPtr[r]; i < op.RowPtr[r+1]; i++ {
-			term := op.Val[i] * coeffs[op.ColInd[i]]
+		for i := range vals {
+			term := vals[i] * coeffs[int(base)+int(cols[i])]
 			t := sum + term
 			if abs(sum) >= abs(term) {
 				comp += (sum - t) + term

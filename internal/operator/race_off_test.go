@@ -1,0 +1,8 @@
+//go:build !race
+
+package operator
+
+// raceEnabled mirrors the runtime's race-detector flag for tests: the
+// race build of sync.Pool randomly drops Puts (poolRaceHack), so
+// allocation guards only hold in non-race builds.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package operator
+
+const raceEnabled = true

@@ -1,0 +1,183 @@
+package operator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unstencil/internal/metrics"
+)
+
+func randPerm32(rng *rand.Rand, n int) []int32 {
+	p := rng.Perm(n)
+	out := make([]int32, n)
+	for i, v := range p {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func randFields(cols, nf int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	fs := make([][]float64, nf)
+	for f := range fs {
+		fs[f] = make([]float64, cols)
+		for c := range fs[f] {
+			fs[f][c] = math.Ldexp(rng.Float64()-0.5, rng.Intn(20)-10)
+		}
+	}
+	return fs
+}
+
+// TestApplyBlockBitIdentical is the tentpole property: ApplyBlock equals F
+// independent ApplyVec calls bitwise, across field counts, worker counts,
+// permuted and identity row orders, and templated operators.
+func TestApplyBlockBitIdentical(t *testing.T) {
+	for _, permuted := range []bool{false, true} {
+		for _, templated := range []bool{false, true} {
+			op := buildRandomPerm(600, 150, 3, 42, permuted)
+			if templated {
+				// Congruent rows so Templatize actually compresses.
+				op = buildCongruent(600, 150, 3, 42, permuted)
+			}
+			o := op
+			if templated {
+				o = op.Templatize()
+				if o.Tpl == nil {
+					t.Fatal("congruent operator did not templatize")
+				}
+			}
+			for _, nf := range []int{1, 2, 3, 8, 9, 16} {
+				coeffs := randFields(o.Cols, nf, int64(nf)*7+1)
+				want := make([][]float64, nf)
+				for f := 0; f < nf; f++ {
+					want[f] = make([]float64, o.Rows)
+					if err := op.ApplyVec(coeffs[f], want[f], 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, workers := range []int{1, 2, 3, 7} {
+					got := make([][]float64, nf)
+					for f := range got {
+						got[f] = make([]float64, o.Rows)
+					}
+					if err := o.ApplyBlock(coeffs, got, workers); err != nil {
+						t.Fatal(err)
+					}
+					for f := 0; f < nf; f++ {
+						for r := 0; r < o.Rows; r++ {
+							if math.Float64bits(got[f][r]) != math.Float64bits(want[f][r]) {
+								t.Fatalf("permuted=%v templated=%v nf=%d workers=%d: field %d row %d: %v != %v",
+									permuted, templated, nf, workers, f, r, got[f][r], want[f][r])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func buildRandomPerm(rows, elems, basisN int, seed int64, permuted bool) *Operator {
+	rng := rand.New(rand.NewSource(seed))
+	cols := elems * basisN
+	b := NewBuilder(rows, cols, basisN)
+	for r := 0; r < rows; r++ {
+		if rng.Intn(17) == 0 {
+			continue
+		}
+		ne := 1 + rng.Intn(6)
+		e0 := rng.Intn(max(1, elems-ne))
+		var ci []int32
+		var v []float64
+		for e := e0; e < e0+ne; e++ {
+			for m := 0; m < basisN; m++ {
+				ci = append(ci, int32(e*basisN+m))
+				mag := math.Ldexp(rng.Float64(), rng.Intn(30)-15)
+				if rng.Intn(2) == 0 {
+					mag = -mag
+				}
+				v = append(v, mag)
+			}
+		}
+		b.SetRow(r, ci, v)
+	}
+	var perm []int32
+	if permuted {
+		perm = randPerm32(rng, rows)
+	}
+	return b.Finish(perm, 2, "per-point", time.Millisecond, metrics.Counters{})
+}
+
+func TestApplyBlockDimensionChecks(t *testing.T) {
+	op := buildRandomPerm(40, 10, 2, 1, false)
+	mk := func(n, ln int) [][]float64 {
+		v := make([][]float64, n)
+		for i := range v {
+			v[i] = make([]float64, ln)
+		}
+		return v
+	}
+	if err := op.ApplyBlock(nil, nil, 1); err == nil {
+		t.Error("zero fields accepted")
+	}
+	if err := op.ApplyBlock(mk(2, op.Cols), mk(1, op.Rows), 1); err == nil {
+		t.Error("output count mismatch accepted")
+	}
+	if err := op.ApplyBlock(mk(2, op.Cols-1), mk(2, op.Rows), 1); err == nil {
+		t.Error("short coefficients accepted")
+	}
+	if err := op.ApplyBlock(mk(2, op.Cols), mk(2, op.Rows-1), 1); err == nil {
+		t.Error("short output accepted")
+	}
+}
+
+// The serial apply paths must not allocate in steady state: the packed
+// tile and output vectors are pooled, the accumulators are stack arrays.
+func TestApplyAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector")
+	}
+	op := buildRandomPerm(512, 128, 3, 9, true)
+	topl := op.Templatize()
+	coeffs := randFields(op.Cols, 8, 5)
+	out := make([][]float64, 8)
+	for f := range out {
+		out[f] = make([]float64, op.Rows)
+	}
+	// Warm the pools.
+	if err := op.ApplyBlock(coeffs, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"ApplyVec":           func() { _ = op.ApplyVec(coeffs[0], out[0], 1) },
+		"ApplyBlock":         func() { _ = op.ApplyBlock(coeffs, out, 1) },
+		"ApplyBlockTemplate": func() { _ = topl.ApplyBlock(coeffs, out, 1) },
+		"GetPutVec":          func() { PutVec(GetVec(op.Rows)) },
+	} {
+		if n := testing.AllocsPerRun(20, fn); n != 0 {
+			t.Errorf("%s allocates %v per run", name, n)
+		}
+	}
+}
+
+func TestGetVecReuse(t *testing.T) {
+	v := GetVec(100)
+	if len(v) != 100 {
+		t.Fatalf("len = %d", len(v))
+	}
+	v[0] = 42
+	PutVec(v)
+	w := GetVec(50)
+	if len(w) != 50 {
+		t.Fatalf("len = %d", len(w))
+	}
+	PutVec(w)
+	if big := GetVec(1000); len(big) != 1000 {
+		t.Fatalf("len = %d", len(big))
+	} else {
+		PutVec(big)
+	}
+	PutVec(nil) // must not panic
+}

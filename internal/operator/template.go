@@ -1,0 +1,328 @@
+// Row-congruence stencil templates.
+//
+// Interior grid points of a (near-)structured mesh see translated copies
+// of the same local geometry, and the assembly path computes every weight
+// in stencil-local coordinates (see core.integrateWeights), so two rows
+// whose inputs are exact translates come out bitwise identical up to a
+// constant column shift. Templatize detects such rows and stores the
+// shared (column-offset, value) pattern once: a templated row keeps only
+// a template id and a base column, cutting the resident CSR bytes by the
+// duplication factor while leaving non-congruent rows as plain CSR.
+//
+// Detection is a two-stage comparison. A quantised value hash (low
+// mantissa bits masked) buckets candidate rows cheaply; actual sharing is
+// then gated by an exact match — identical column deltas AND bitwise
+// identical values. The quantisation therefore only affects how many
+// exact comparisons run, never the stored weights: template compression
+// is lossless by construction, and every apply through a templated
+// operator is bit-identical to the plain CSR apply.
+package operator
+
+import (
+	"fmt"
+	"math"
+)
+
+// TemplateSet is the shared-stencil side table of a templated operator.
+// All arrays are fixed-width records so the artifact container can mmap
+// them zero-copy exactly like the CSR arrays.
+type TemplateSet struct {
+	// TplPtr/TplDelta/TplVal form a CSR-like store of the unique
+	// templates: template t's entries are [TplPtr[t], TplPtr[t+1]), each a
+	// (column delta from the row's base column, weight) pair. Deltas are
+	// ascending within a template; delta 0 is the first entry.
+	TplPtr   []int64
+	TplDelta []int32
+	TplVal   []float64
+
+	// RowTpl maps each storage row to its template id, or -1 for rows kept
+	// as plain CSR. RowBase holds the templated row's base column (its
+	// first column index); 0 for plain rows.
+	RowTpl  []int32
+	RowBase []int32
+}
+
+// NumTemplates returns the number of unique shared templates.
+func (ts *TemplateSet) NumTemplates() int {
+	if ts == nil || len(ts.TplPtr) == 0 {
+		return 0
+	}
+	return len(ts.TplPtr) - 1
+}
+
+// TemplatedRows counts rows resolved through a template.
+func (ts *TemplateSet) TemplatedRows() int {
+	if ts == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range ts.RowTpl {
+		if t >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the resident size of the template arrays.
+func (ts *TemplateSet) Bytes() int64 {
+	if ts == nil {
+		return 0
+	}
+	return int64(len(ts.TplPtr))*8 + int64(len(ts.TplDelta))*4 + int64(len(ts.TplVal))*8 +
+		int64(len(ts.RowTpl))*4 + int64(len(ts.RowBase))*4
+}
+
+// rowSpan returns storage row r's entries as (values, columns, base): the
+// row's terms are vals[i] · coeffs[base+cols[i]]. Plain rows return their
+// CSR slices with base 0; templated rows return the shared template with
+// the row's base column. Both apply kernels consume rows through this one
+// accessor, so templated and plain rows follow the identical arithmetic
+// path.
+func (op *Operator) rowSpan(r int) (vals []float64, cols []int32, base int32) {
+	if op.Tpl != nil {
+		if t := op.Tpl.RowTpl[r]; t >= 0 {
+			lo, hi := op.Tpl.TplPtr[t], op.Tpl.TplPtr[t+1]
+			return op.Tpl.TplVal[lo:hi], op.Tpl.TplDelta[lo:hi], op.Tpl.RowBase[r]
+		}
+	}
+	lo, hi := op.RowPtr[r], op.RowPtr[r+1]
+	return op.Val[lo:hi], op.ColInd[lo:hi], 0
+}
+
+// quantMask zeroes the low 16 mantissa bits for the candidate hash:
+// rows that agree to ~5e-12 relative land in the same bucket and get the
+// exact comparison; rows that differ more never meet. The mask affects
+// bucketing only — sharing still requires bitwise equality.
+const quantMask = ^uint64(0xFFFF)
+
+// rowHash buckets storage row r by its quantised (delta, value) pattern.
+func (op *Operator) rowHash(r int) uint64 {
+	lo, hi := op.RowPtr[r], op.RowPtr[r+1]
+	base := op.ColInd[lo]
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := lo; i < hi; i++ {
+		h = (h ^ uint64(uint32(op.ColInd[i]-base))) * prime64
+		h = (h ^ (math.Float64bits(op.Val[i]) & quantMask)) * prime64
+	}
+	return h
+}
+
+// rowsCongruent reports whether storage rows a and b are exact translates:
+// same length, identical column deltas, bitwise identical values.
+func (op *Operator) rowsCongruent(a, b int) bool {
+	alo, ahi := op.RowPtr[a], op.RowPtr[a+1]
+	blo, bhi := op.RowPtr[b], op.RowPtr[b+1]
+	if ahi-alo != bhi-blo {
+		return false
+	}
+	da, db := op.ColInd[alo], op.ColInd[blo]
+	for i := int64(0); i < ahi-alo; i++ {
+		if op.ColInd[alo+i]-da != op.ColInd[blo+i]-db {
+			return false
+		}
+		if math.Float64bits(op.Val[alo+i]) != math.Float64bits(op.Val[blo+i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Templatize detects row congruence and returns an operator with duplicate
+// rows compressed into shared templates. The receiver is not modified. If
+// templating would not shrink the operator (too few congruent rows to pay
+// for the per-row side table), the receiver is returned unchanged — the
+// transparent fallback for unstructured meshes. The returned operator's
+// applies are bit-identical to the receiver's.
+func (op *Operator) Templatize() *Operator {
+	if op.Tpl != nil || op.Rows == 0 {
+		return op
+	}
+	// Pass 1: bucket rows by quantised hash, gate with exact congruence.
+	// heads[i] is the storage row that founded candidate template i.
+	buckets := make(map[uint64][]int32)
+	heads := []int32{}
+	rowHead := make([]int32, op.Rows) // candidate template id per row, -1 = empty row
+	for r := 0; r < op.Rows; r++ {
+		if op.RowPtr[r] == op.RowPtr[r+1] {
+			rowHead[r] = -1
+			continue
+		}
+		h := op.rowHash(r)
+		found := int32(-1)
+		for _, cand := range buckets[h] {
+			if op.rowsCongruent(int(heads[cand]), r) {
+				found = cand
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(heads))
+			heads = append(heads, int32(r))
+			buckets[h] = append(buckets[h], found)
+		}
+		rowHead[r] = found
+	}
+	// Pass 2: keep only candidates shared by >= 2 rows; single-use rows
+	// stay plain (a one-row template saves nothing and adds indirection).
+	uses := make([]int32, len(heads))
+	for r := 0; r < op.Rows; r++ {
+		if rowHead[r] >= 0 {
+			uses[rowHead[r]]++
+		}
+	}
+	tplID := make([]int32, len(heads))
+	nTpl, tplNNZ, savedNNZ := 0, int64(0), int64(0)
+	for i := range heads {
+		if uses[i] < 2 {
+			tplID[i] = -1
+			continue
+		}
+		tplID[i] = int32(nTpl)
+		nTpl++
+		ln := op.RowPtr[heads[i]+1] - op.RowPtr[heads[i]]
+		tplNNZ += ln
+		savedNNZ += int64(uses[i]) * ln
+	}
+	if nTpl == 0 {
+		return op
+	}
+	// Net byte change: templated rows' CSR entries (12 B each) are
+	// replaced by one template copy plus the Rows-wide side table.
+	saved := (savedNNZ-tplNNZ)*12 - int64(op.Rows)*8 - int64(nTpl+1)*8
+	if saved <= 0 {
+		return op
+	}
+	// Pass 3: build the template store and the compressed CSR (templated
+	// rows become empty; plain rows keep their entries verbatim).
+	ts := &TemplateSet{
+		TplPtr:   make([]int64, 1, nTpl+1),
+		TplDelta: make([]int32, 0, tplNNZ),
+		TplVal:   make([]float64, 0, tplNNZ),
+		RowTpl:   make([]int32, op.Rows),
+		RowBase:  make([]int32, op.Rows),
+	}
+	for i, head := range heads {
+		if tplID[i] < 0 {
+			continue
+		}
+		lo, hi := op.RowPtr[head], op.RowPtr[head+1]
+		base := op.ColInd[lo]
+		for k := lo; k < hi; k++ {
+			ts.TplDelta = append(ts.TplDelta, op.ColInd[k]-base)
+			ts.TplVal = append(ts.TplVal, op.Val[k])
+		}
+		ts.TplPtr = append(ts.TplPtr, int64(len(ts.TplVal)))
+	}
+	keptNNZ := int64(op.NNZ()) - savedNNZ
+	out := &Operator{
+		Rows:             op.Rows,
+		Cols:             op.Cols,
+		BasisN:           op.BasisN,
+		RowPtr:           make([]int64, op.Rows+1),
+		ColInd:           make([]int32, 0, keptNNZ),
+		Val:              make([]float64, 0, keptNNZ),
+		Perm:             op.Perm,
+		Workers:          op.Workers,
+		Backing:          op.Backing,
+		Tpl:              ts,
+		AssemblyScheme:   op.AssemblyScheme,
+		AssemblyWall:     op.AssemblyWall,
+		AssemblyCounters: op.AssemblyCounters,
+	}
+	for r := 0; r < op.Rows; r++ {
+		if h := rowHead[r]; h >= 0 && tplID[h] >= 0 {
+			ts.RowTpl[r] = tplID[h]
+			ts.RowBase[r] = op.ColInd[op.RowPtr[r]]
+		} else {
+			ts.RowTpl[r] = -1
+			lo, hi := op.RowPtr[r], op.RowPtr[r+1]
+			out.ColInd = append(out.ColInd, op.ColInd[lo:hi]...)
+			out.Val = append(out.Val, op.Val[lo:hi]...)
+		}
+		out.RowPtr[r+1] = int64(len(out.Val))
+	}
+	return out
+}
+
+// Expand returns the plain-CSR equivalent of a templated operator,
+// materialising every templated row's entries. Expanding a plain operator
+// returns it unchanged. Expand(Templatize(op)) reproduces op's rows
+// bitwise — the round-trip property the tests pin.
+func (op *Operator) Expand() *Operator {
+	if op.Tpl == nil {
+		return op
+	}
+	nnz := op.NNZ()
+	out := &Operator{
+		Rows:             op.Rows,
+		Cols:             op.Cols,
+		BasisN:           op.BasisN,
+		RowPtr:           make([]int64, op.Rows+1),
+		ColInd:           make([]int32, 0, nnz),
+		Val:              make([]float64, 0, nnz),
+		Perm:             op.Perm,
+		Workers:          op.Workers,
+		AssemblyScheme:   op.AssemblyScheme,
+		AssemblyWall:     op.AssemblyWall,
+		AssemblyCounters: op.AssemblyCounters,
+	}
+	for r := 0; r < op.Rows; r++ {
+		vals, cols, base := op.rowSpan(r)
+		for i := range vals {
+			out.ColInd = append(out.ColInd, base+cols[i])
+			out.Val = append(out.Val, vals[i])
+		}
+		out.RowPtr[r+1] = int64(len(out.Val))
+	}
+	return out
+}
+
+// ValidateTemplates checks a template set's structural invariants against
+// the operator shape — the artifact decode path runs this so a corrupted
+// or hostile container cannot drive rowSpan out of bounds.
+func (op *Operator) ValidateTemplates() error {
+	ts := op.Tpl
+	if ts == nil {
+		return nil
+	}
+	nt := ts.NumTemplates()
+	if len(ts.TplPtr) == 0 || ts.TplPtr[0] != 0 {
+		return fmt.Errorf("operator: template pointer array must start at 0")
+	}
+	if int64(len(ts.TplDelta)) != ts.TplPtr[nt] || len(ts.TplVal) != len(ts.TplDelta) {
+		return fmt.Errorf("operator: template arrays disagree: ptr end %d, %d deltas, %d values",
+			ts.TplPtr[nt], len(ts.TplDelta), len(ts.TplVal))
+	}
+	for t := 0; t < nt; t++ {
+		if ts.TplPtr[t] > ts.TplPtr[t+1] {
+			return fmt.Errorf("operator: template %d has negative length", t)
+		}
+	}
+	if len(ts.RowTpl) != op.Rows || len(ts.RowBase) != op.Rows {
+		return fmt.Errorf("operator: template row tables have %d/%d entries, operator has %d rows",
+			len(ts.RowTpl), len(ts.RowBase), op.Rows)
+	}
+	for r := 0; r < op.Rows; r++ {
+		t := ts.RowTpl[r]
+		if t < 0 {
+			continue
+		}
+		if int(t) >= nt {
+			return fmt.Errorf("operator: row %d references template %d of %d", r, t, nt)
+		}
+		if op.RowPtr[r] != op.RowPtr[r+1] {
+			return fmt.Errorf("operator: templated row %d still has CSR entries", r)
+		}
+		base := int64(ts.RowBase[r])
+		lo, hi := ts.TplPtr[t], ts.TplPtr[t+1]
+		for i := lo; i < hi; i++ {
+			c := base + int64(ts.TplDelta[i])
+			if c < 0 || c >= int64(op.Cols) {
+				return fmt.Errorf("operator: row %d template column %d out of range [0,%d)", r, c, op.Cols)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package operator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unstencil/internal/metrics"
+)
+
+// buildCongruent builds an operator where most rows are exact column
+// translates of a few stencil patterns — the synthetic analogue of
+// interior points on a structured mesh — with a sprinkling of unique
+// boundary-like rows and empty rows.
+func buildCongruent(rows, elems, basisN int, seed int64, permuted bool) *Operator {
+	rng := rand.New(rand.NewSource(seed))
+	cols := elems * basisN
+	// Three shared stencil patterns of different lengths.
+	patterns := make([][]float64, 3)
+	spans := []int{4, 6, 3} // elements per pattern
+	for p := range patterns {
+		vals := make([]float64, spans[p]*basisN)
+		for i := range vals {
+			mag := math.Ldexp(rng.Float64(), rng.Intn(20)-10)
+			if i%2 == 0 {
+				mag = -mag
+			}
+			vals[i] = mag
+		}
+		patterns[p] = vals
+	}
+	b := NewBuilder(rows, cols, basisN)
+	maxSpan := 6
+	for r := 0; r < rows; r++ {
+		switch {
+		case rng.Intn(19) == 0:
+			// empty row
+		case rng.Intn(5) == 0:
+			// unique row (boundary-like): random values, never congruent
+			e0 := rng.Intn(elems - maxSpan)
+			ci := make([]int32, 2*basisN)
+			v := make([]float64, 2*basisN)
+			for i := range ci {
+				ci[i] = int32(e0*basisN + i)
+				v[i] = math.Ldexp(rng.Float64(), rng.Intn(20)-10)
+			}
+			b.SetRow(r, ci, v)
+		default:
+			p := rng.Intn(len(patterns))
+			e0 := rng.Intn(elems - maxSpan)
+			n := len(patterns[p])
+			ci := make([]int32, n)
+			for i := range ci {
+				ci[i] = int32(e0*basisN + i)
+			}
+			b.SetRow(r, ci, patterns[p])
+		}
+	}
+	var perm []int32
+	if permuted {
+		perm = randPerm32(rng, rows)
+	}
+	return b.Finish(perm, 2, "per-point", time.Millisecond, metrics.Counters{})
+}
+
+func sameRowsBitwise(t *testing.T, a, b *Operator) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.BasisN != b.BasisN {
+		t.Fatalf("shape mismatch: %d×%d vs %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for r := 0; r < a.Rows; r++ {
+		av, ac, ab := a.rowSpan(r)
+		bv, bc, bb := b.rowSpan(r)
+		if len(av) != len(bv) {
+			t.Fatalf("row %d: %d vs %d entries", r, len(av), len(bv))
+		}
+		for i := range av {
+			if ab+ac[i] != bb+bc[i] {
+				t.Fatalf("row %d entry %d: col %d vs %d", r, i, ab+ac[i], bb+bc[i])
+			}
+			if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				t.Fatalf("row %d entry %d: val %v vs %v", r, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// Templatize must fire on a congruent operator, shrink it, and round-trip
+// through Expand bitwise.
+func TestTemplatizeRoundTrip(t *testing.T) {
+	for _, permuted := range []bool{false, true} {
+		op := buildCongruent(800, 200, 3, 7, permuted)
+		topl := op.Templatize()
+		if topl.Tpl == nil {
+			t.Fatal("congruent operator did not templatize")
+		}
+		if err := topl.ValidateTemplates(); err != nil {
+			t.Fatal(err)
+		}
+		if topl.Bytes() >= op.Bytes() {
+			t.Fatalf("templating grew the operator: %d -> %d bytes", op.Bytes(), topl.Bytes())
+		}
+		if topl.NNZ() != op.NNZ() {
+			t.Fatalf("logical nnz changed: %d -> %d", op.NNZ(), topl.NNZ())
+		}
+		if topl.StoredNNZ() >= op.NNZ() {
+			t.Fatalf("stored nnz did not shrink: %d vs %d", topl.StoredNNZ(), op.NNZ())
+		}
+		st := topl.Stats()
+		if st.Templates == 0 || st.TemplatedRows == 0 {
+			t.Fatalf("stats missing template shape: %+v", st)
+		}
+		sameRowsBitwise(t, op, topl)
+		back := topl.Expand()
+		if back.Tpl != nil {
+			t.Fatal("Expand left templates in place")
+		}
+		sameRowsBitwise(t, op, back)
+
+		// Applies through the templated operator are bitwise identical.
+		coeffs := randFields(op.Cols, 1, 3)[0]
+		want := make([]float64, op.Rows)
+		got := make([]float64, op.Rows)
+		if err := op.ApplyVec(coeffs, want, 1); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			if err := topl.ApplyVec(coeffs, got, workers); err != nil {
+				t.Fatal(err)
+			}
+			for r := range want {
+				if math.Float64bits(got[r]) != math.Float64bits(want[r]) {
+					t.Fatalf("workers=%d row %d: %v != %v", workers, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}
+
+// A fully random operator has no congruent rows; Templatize must return
+// the receiver unchanged — the transparent fallback.
+func TestTemplatizeFallback(t *testing.T) {
+	op := buildRandomPerm(400, 100, 3, 11, false)
+	if got := op.Templatize(); got != op {
+		t.Fatalf("random operator templatized: %d templates", got.Tpl.NumTemplates())
+	}
+	// Idempotence: templatizing a templated operator is a no-op.
+	cong := buildCongruent(400, 100, 3, 11, false).Templatize()
+	if cong.Templatize() != cong {
+		t.Fatal("re-templatizing was not a no-op")
+	}
+}
+
+// Values that agree to quantisation but differ in low bits must NOT share
+// a template: the quantised hash is a prefilter, bitwise equality gates.
+func TestTemplatizeExactBitsGate(t *testing.T) {
+	const half = 20
+	b := NewBuilder(2*half, 2*half*2, 1)
+	v := 0.12345678901234567
+	vPerturbed := math.Nextafter(v, 1) // differs in the last mantissa bit
+	for r := 0; r < half; r++ {
+		b.SetRow(r, []int32{int32(2 * r), int32(2*r + 1)}, []float64{v, -v})
+		b.SetRow(half+r, []int32{int32(2 * (half + r)), int32(2*(half+r) + 1)}, []float64{vPerturbed, -v})
+	}
+	op := b.Finish(nil, 1, "per-point", 0, metrics.Counters{})
+	topl := op.Templatize()
+	if topl.Tpl == nil {
+		t.Fatal("exact duplicates did not templatize")
+	}
+	// The v rows share one template, the vPerturbed rows another — never
+	// across the one-ulp divide.
+	ts := topl.Tpl
+	if ts.RowTpl[0] != ts.RowTpl[1] || ts.RowTpl[half] != ts.RowTpl[half+1] {
+		t.Fatalf("exact translates not shared: %v", ts.RowTpl)
+	}
+	if ts.RowTpl[0] == ts.RowTpl[half] {
+		t.Fatal("rows differing in one ulp shared a template")
+	}
+	sameRowsBitwise(t, op, topl)
+}
+
+// ValidateTemplates must reject structurally broken template sets.
+func TestValidateTemplatesRejects(t *testing.T) {
+	op := buildCongruent(200, 60, 2, 3, false).Templatize()
+	if op.Tpl == nil {
+		t.Skip("no templates formed")
+	}
+	check := func(name string, mutate func(o *Operator)) {
+		clone := *op
+		ts := *op.Tpl
+		ts.TplPtr = append([]int64(nil), op.Tpl.TplPtr...)
+		ts.TplDelta = append([]int32(nil), op.Tpl.TplDelta...)
+		ts.TplVal = append([]float64(nil), op.Tpl.TplVal...)
+		ts.RowTpl = append([]int32(nil), op.Tpl.RowTpl...)
+		ts.RowBase = append([]int32(nil), op.Tpl.RowBase...)
+		clone.Tpl = &ts
+		mutate(&clone)
+		if err := clone.ValidateTemplates(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	check("dangling template id", func(o *Operator) {
+		for r := range o.Tpl.RowTpl {
+			if o.Tpl.RowTpl[r] >= 0 {
+				o.Tpl.RowTpl[r] = int32(o.Tpl.NumTemplates())
+				return
+			}
+		}
+	})
+	check("column out of range", func(o *Operator) {
+		for r := range o.Tpl.RowTpl {
+			if o.Tpl.RowTpl[r] >= 0 {
+				o.Tpl.RowBase[r] = int32(o.Cols)
+				return
+			}
+		}
+	})
+	check("ragged arrays", func(o *Operator) {
+		o.Tpl.TplVal = o.Tpl.TplVal[:len(o.Tpl.TplVal)-1]
+	})
+	check("row table wrong length", func(o *Operator) {
+		o.Tpl.RowTpl = o.Tpl.RowTpl[:len(o.Tpl.RowTpl)-1]
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"unstencil/internal/dg"
 	"unstencil/internal/geom"
 	"unstencil/internal/mesh"
+	"unstencil/internal/metrics"
 	"unstencil/internal/operator"
 	"unstencil/internal/tile"
 )
@@ -50,6 +51,9 @@ type Artifacts struct {
 	// log receives store-degradation warnings (persist failures); nil
 	// disables.
 	log *slog.Logger
+	// ops accumulates operator apply traffic and template-compression
+	// outcomes for /debug/metrics.
+	ops metrics.OperatorCounters
 }
 
 // NewArtifacts wraps cache; evalWorkers <= 0 means GOMAXPROCS.
@@ -66,6 +70,9 @@ func (a *Artifacts) SetLog(log *slog.Logger) { a.log = log }
 
 // Store exposes the disk tier, if attached (metrics, tests).
 func (a *Artifacts) Store() *artifact.Store { return a.store }
+
+// Ops exposes the operator apply/compression counters.
+func (a *Artifacts) Ops() *metrics.OperatorCounters { return &a.ops }
 
 // FieldFuncs are the analytic input fields a job may request; the service
 // projects them onto the mesh's broken polynomial space once per
@@ -242,6 +249,7 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 		if a.store != nil {
 			if op, _, err := a.store.LoadOperator(key, true); err == nil {
 				src = OpSrcDisk
+				a.recordOperator(op)
 				return op, op.Stats().Bytes + 1024, nil
 			}
 		}
@@ -249,6 +257,12 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 		if err != nil {
 			return nil, 0, err
 		}
+		// Compress row-congruent stencils into shared templates before the
+		// operator is admitted anywhere: Templatize is lossless (bitwise
+		// fallback when rows do not share structure) and the compressed form
+		// is what both the LRU and the disk store should hold.
+		op = op.Templatize()
+		a.recordOperator(op)
 		src = OpSrcAssembled
 		if a.store != nil {
 			if err := a.store.SaveOperator(key, op); err != nil && a.log != nil {
@@ -263,6 +277,16 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 		return nil, "", err
 	}
 	return v.(*operator.Operator), src, nil
+}
+
+// recordOperator folds one operator admission (assembled or loaded from
+// disk) into the template-compression counters.
+func (a *Artifacts) recordOperator(op *operator.Operator) {
+	templated := 0
+	if op.Tpl != nil {
+		templated = op.Tpl.TemplatedRows()
+	}
+	a.ops.RecordTemplates(op.Rows, templated, op.BytesSaved())
 }
 
 // QueryOperator returns an assembled operator whose rows are the given

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"unstencil/internal/core"
+	"unstencil/internal/dg"
 	"unstencil/internal/fault"
 	"unstencil/internal/metrics"
 	"unstencil/internal/operator"
@@ -48,6 +49,12 @@ type JobSpec struct {
 	Boundary string `json:"boundary,omitempty"`
 	// Field names the analytic input field to project ("sincos" default).
 	Field string `json:"field,omitempty"`
+	// Fields names several input fields to post-process in one batched
+	// operator apply (SpMM): the assembled operator is streamed once per
+	// field tile instead of once per field. Only valid with the "operator"
+	// scheme; when set, Field defaults to Fields[0] and the result carries
+	// one solution per entry, in order.
+	Fields []string `json:"fields,omitempty"`
 	// TimeoutMS caps this job's run time; 0 means the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// AllowPartial opts this job into graceful degradation: if some tiles or
@@ -63,6 +70,8 @@ const (
 	MaxBlocks = 1 << 16
 	// MaxGridDegree bounds the evaluation-grid quadrature degree.
 	MaxGridDegree = 32
+	// MaxJobFields bounds the fields batched into one operator apply.
+	MaxJobFields = 32
 )
 
 // Validate checks and defaults the spec in place. The cluster coordinator
@@ -100,6 +109,22 @@ func (s *JobSpec) normalize(defaultBlocks int) error {
 	}
 	if _, err := parseBoundary(s.Boundary); err != nil {
 		return err
+	}
+	if len(s.Fields) > 0 {
+		if s.Scheme != "operator" {
+			return fmt.Errorf("fields (batched apply) requires the %q scheme, got %q", "operator", s.Scheme)
+		}
+		if len(s.Fields) > MaxJobFields {
+			return fmt.Errorf("at most %d fields per job, got %d", MaxJobFields, len(s.Fields))
+		}
+		for i, f := range s.Fields {
+			if _, ok := FieldFuncs[f]; !ok {
+				return fmt.Errorf("unknown fields[%d] %q (have %v)", i, f, FieldNames())
+			}
+		}
+		if s.Field == "" {
+			s.Field = s.Fields[0]
+		}
 	}
 	if s.Field == "" {
 		s.Field = "sincos"
@@ -190,6 +215,7 @@ type JobStatus struct {
 	Error      string            `json:"error,omitempty"`
 	CacheHits  []string          `json:"cache_hits,omitempty"`
 	NumPoints  int               `json:"num_points,omitempty"`
+	NumFields  int               `json:"num_fields,omitempty"`
 	WallMS     float64           `json:"wall_ms,omitempty"`
 	MemOverhd  float64           `json:"memory_overhead,omitempty"`
 	Counters   *metrics.Counters `json:"counters,omitempty"`
@@ -224,6 +250,7 @@ func (j *Job) Status() JobStatus {
 	}
 	if j.result != nil {
 		st.NumPoints = len(j.result.Solution)
+		st.NumFields = len(j.result.Solutions)
 		st.WallMS = float64(j.result.Wall) / float64(time.Millisecond)
 		st.MemOverhd = j.result.MemoryOverhead
 		c := j.result.Total
@@ -855,6 +882,7 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 		ev     *core.Evaluator
 		tiling *tile.Tiling
 		op     *operator.Operator
+		fields []*dg.Field // operator-scheme inputs, one per batched field
 	)
 	scheme := parseScheme(spec.Scheme)
 	if err := m.runStage(ctx, StageArtifacts, func() error {
@@ -893,6 +921,20 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 			case OpSrcDisk:
 				hits = append(hits, "operator-disk")
 			}
+			// Project every batched input field now, while still under the
+			// artifact-stage deadline; the evaluate stage is then pure
+			// arithmetic. Single-field jobs reuse the evaluator's field.
+			if len(spec.Fields) == 0 {
+				fields = []*dg.Field{ev.Field}
+				break
+			}
+			fields = make([]*dg.Field, len(spec.Fields))
+			for i, name := range spec.Fields {
+				fields[i], _, err = m.arts.Field(mesh, spec.MeshID, spec.P, name)
+				if err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	}); err != nil {
@@ -905,16 +947,40 @@ func (m *Manager) execute(ctx context.Context, spec JobSpec) (*core.Result, []st
 		var res *core.Result
 		if err := m.runStage(ctx, StageEvaluate, func() error {
 			start := time.Now()
-			sol, err := op.Apply(ev.Field)
+			nf := len(fields)
+			// One backing allocation for everything the result retains;
+			// the apply itself is allocation-free on top of it.
+			backing := make([]float64, nf*op.Rows)
+			outs := make([][]float64, nf)
+			for i := range outs {
+				outs[i] = backing[i*op.Rows : (i+1)*op.Rows : (i+1)*op.Rows]
+			}
+			var err error
+			var total metrics.Counters
+			if nf == 1 {
+				err = op.ApplyInto(fields[0], outs[0])
+				total = op.ApplyCounters()
+			} else {
+				coeffs := make([][]float64, nf)
+				for i, f := range fields {
+					coeffs[i] = f.Coeffs
+				}
+				err = op.ApplyBlock(coeffs, outs, op.Workers)
+				total = op.ApplyBlockCounters(nf)
+			}
 			if err != nil {
 				return err
 			}
+			m.arts.Ops().RecordApply(nf)
 			res = &core.Result{
-				Solution:       sol,
-				Total:          op.ApplyCounters(),
+				Solution:       outs[0],
+				Total:          total,
 				Wall:           time.Since(start),
 				MemoryOverhead: 1,
 				Scheme:         core.Assembled,
+			}
+			if nf > 1 {
+				res.Solutions = outs
 			}
 			return nil
 		}); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -46,7 +47,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if len(pending) != 1 || pending[0].ID != "job-00000002" {
 		t.Fatalf("pending = %+v, want exactly job-00000002", pending)
 	}
-	if pending[0].Spec != specB {
+	if !reflect.DeepEqual(pending[0].Spec, specB) {
 		t.Fatalf("replayed spec %+v, want %+v", pending[0].Spec, specB)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, journalFile))

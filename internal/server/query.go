@@ -10,6 +10,7 @@ import (
 
 	"unstencil/internal/geom"
 	"unstencil/internal/metrics"
+	"unstencil/internal/operator"
 )
 
 // MaxQueryPoints bounds one batch query. Requests beyond it are rejected
@@ -35,6 +36,11 @@ type QueryRequest struct {
 	Boundary string `json:"boundary,omitempty"`
 	// Field names the analytic input field ("sincos" default).
 	Field string `json:"field,omitempty"`
+	// Fields names several input fields to evaluate at the same positions
+	// in one batched operator apply. Requires use_operator; the response
+	// then carries "fields" and a per-field "values" array in the same
+	// order. When set, Field defaults to Fields[0].
+	Fields []string `json:"fields,omitempty"`
 	// Points are the query positions, [x, y] pairs.
 	Points [][2]float64 `json:"points"`
 	// Workers bounds this query's evaluation concurrency; 0 means the
@@ -63,6 +69,22 @@ func (q *QueryRequest) normalize() error {
 	}
 	if _, err := parseBoundary(q.Boundary); err != nil {
 		return err
+	}
+	if len(q.Fields) > 0 {
+		if !q.UseOperator {
+			return errors.New("fields (batched apply) requires use_operator")
+		}
+		if len(q.Fields) > MaxJobFields {
+			return fmt.Errorf("at most %d fields per query, got %d", MaxJobFields, len(q.Fields))
+		}
+		for i, f := range q.Fields {
+			if _, ok := FieldFuncs[f]; !ok {
+				return fmt.Errorf("unknown fields[%d] %q (have %v)", i, f, FieldNames())
+			}
+		}
+		if q.Field == "" {
+			q.Field = q.Fields[0]
+		}
 	}
 	if q.Field == "" {
 		q.Field = "sincos"
@@ -134,12 +156,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, "query operator assembly: %v", err)
 			return
 		}
-		vals, err = op.Apply(ev.Field)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "query operator apply: %v", err)
-			return
+		// Query outputs are encoded and dropped, so they come from the
+		// apply-vector pool: the steady-state repeated-query path (same
+		// points, new field each time step) allocates nothing per apply.
+		if len(req.Fields) > 0 {
+			coeffs := make([][]float64, len(req.Fields))
+			for i, name := range req.Fields {
+				f, _, err := s.arts.Field(m, req.MeshID, req.P, name)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+				coeffs[i] = f.Coeffs
+			}
+			outs := make([][]float64, len(req.Fields))
+			for i := range outs {
+				outs[i] = operator.GetVec(op.Rows)
+				defer operator.PutVec(outs[i])
+			}
+			if err := op.ApplyBlock(coeffs, outs, op.Workers); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, "query operator apply: %v", err)
+				return
+			}
+			s.arts.Ops().RecordApply(len(req.Fields))
+			counters = op.ApplyBlockCounters(len(req.Fields))
+			vals = outs[0]
+			resp["fields"] = req.Fields
+			resp["values"] = outs
+		} else {
+			vals = operator.GetVec(op.Rows)
+			defer operator.PutVec(vals)
+			if err := op.ApplyInto(ev.Field, vals); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, "query operator apply: %v", err)
+				return
+			}
+			s.arts.Ops().RecordApply(1)
+			counters = op.ApplyCounters()
 		}
-		counters = op.ApplyCounters()
 		resp["operator_warm"] = opSrc != OpSrcAssembled
 		resp["operator_source"] = opSrc
 	} else {
@@ -155,7 +208,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	wall := time.Since(start)
 	s.mgr.RecordQuery(&counters)
 	resp["num_points"] = len(vals)
-	resp["values"] = vals
+	if _, ok := resp["values"]; !ok {
+		resp["values"] = vals
+	}
 	resp["counters"] = counters
 	resp["wall_ms"] = float64(wall) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, resp)

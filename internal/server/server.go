@@ -205,6 +205,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Manager exposes the job manager (shutdown, tests).
 func (s *Server) Manager() *Manager { return s.mgr }
 
+// Artifacts exposes the artifact cache façade (tests, embedding servers).
+func (s *Server) Artifacts() *Artifacts { return s.arts }
+
 // statusRecorder captures the response code for the request log and whether
 // the response has started (the recovery middleware can only substitute a
 // 500 before the first write).
@@ -401,13 +404,20 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s is %s; result not ready", job.ID, st.State)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"job_id":          job.ID,
 		"scheme":          res.Scheme.String(),
 		"num_points":      len(res.Solution),
 		"memory_overhead": res.MemoryOverhead,
 		"solution":        res.Solution,
-	})
+	}
+	if len(res.Solutions) > 0 {
+		// Multi-field batched apply: one solution per requested field, in
+		// order; "solution" stays the first field for compatibility.
+		body["fields"] = job.Spec.Fields
+		body["solutions"] = res.Solutions
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +495,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cache_classes": s.arts.cache.StatsByClass(),
 		"schemes":       s.mgr.Totals(),
 		"faults":        s.faults.Snapshot(),
+		// Assembled-operator traffic: batched vs single applies, template
+		// dedup hit-rate and resident bytes saved across admitted operators.
+		"operator": s.arts.Ops().Snapshot(),
 	}
 	if st := s.arts.Store(); st != nil {
 		body["store"] = st.Counters().Snapshot()
