@@ -125,7 +125,7 @@ func pack(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	op, err := ev.AssembleOperator(core.AssembleOpts{})
+	op, err := ev.AssembleOperator(core.AssembleOpts{Congruence: core.CongruenceTemplate})
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +138,10 @@ func pack(args []string) {
 	st := op.Stats()
 	fmt.Printf("operator %s\n         -> %s (%d x %d, %d nnz, %s wall)\n",
 		opKey, store.Path(opKey), st.Rows, st.Cols, st.NNZ, op.AssemblyWall)
+	if cs := op.Congruence; cs != nil {
+		fmt.Printf("         congruence: %d classes, %d/%d rows stamped, %d demoted\n",
+			cs.Classes, cs.RowsStamped, cs.Rows, cs.RowsDemoted)
+	}
 }
 
 func openContainer(path string) (*artifact.Container, *os.File, int64, error) {

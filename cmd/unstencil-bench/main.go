@@ -11,6 +11,7 @@
 //	unstencil-bench -operator -operator-out BENCH_PR5.json
 //	unstencil-bench -artifact -artifact-out BENCH_PR6.json
 //	unstencil-bench -spmm -spmm-out BENCH_PR8.json -spmm-gha BENCH_PR8.gha.json
+//	unstencil-bench -assemble -assemble-out BENCH_PR9.json -assemble-gha BENCH_PR9.gha.json
 //
 // Each invocation merges its results into the output file under -label,
 // preserving runs recorded under other labels; -compare prints a
@@ -23,6 +24,10 @@
 // -artifact runs the cold-start sweep: re-assembly cost vs loading the
 // persisted operator artifact (mapped and portable), encoded bytes per
 // artifact, and the identity check on the loaded operator's output.
+// -assemble runs the congruence-first assembly sweep: naive vs
+// template-aware wall time, congruence-class structure, verification and
+// demotion outcomes, and the bitwise identity check against the naive
+// operator.
 package main
 
 import (
@@ -55,8 +60,50 @@ func main() {
 		spmmOut        = flag.String("spmm-out", "BENCH_PR8.json", "with -spmm: report file to write")
 		spmmGHA        = flag.String("spmm-gha", "", "with -spmm: also write the github-action-benchmark JSON array here")
 		spmmFields     = flag.String("spmm-fields", "", "with -spmm: comma-separated batch widths, e.g. 1,2,4,8,16")
+		assemble       = flag.Bool("assemble", false, "run the congruence-first assembly sweep instead of the hot-path suite")
+		assembleOut    = flag.String("assemble-out", "BENCH_PR9.json", "with -assemble: report file to write")
+		assembleGHA    = flag.String("assemble-gha", "", "with -assemble: also write the github-action-benchmark JSON array here")
+		assembleMD     = flag.String("assemble-md", "", "with -assemble: also write the README markdown table here")
+		assembleReps   = flag.Int("assemble-reps", 0, "with -assemble: assemblies per variant, minimum reported (0 = default)")
 	)
 	flag.Parse()
+
+	if *assemble {
+		bcfg := bench.DefaultAssembleConfig()
+		if *size > 0 {
+			bcfg.Size = *size
+		}
+		if *workers > 0 {
+			bcfg.Workers = *workers
+		}
+		if *assembleReps > 0 {
+			bcfg.Reps = *assembleReps
+		}
+		fmt.Fprintf(os.Stderr, "running congruence-first assembly sweep (size=%d, orders=%v, jitters=%v)...\n",
+			bcfg.Size, bcfg.Orders, bcfg.Jitters)
+		rep, err := bench.RunAssemble(bcfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Save(*assembleOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *assembleOut)
+		if *assembleGHA != "" {
+			if err := rep.SaveGHA(*assembleGHA); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *assembleGHA)
+		}
+		if *assembleMD != "" {
+			if err := os.WriteFile(*assembleMD, []byte(rep.Markdown()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *assembleMD)
+		}
+		return
+	}
 
 	if *spmm {
 		mcfg := bench.DefaultSpMMConfig()

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+	"unstencil/internal/operator"
+)
+
+// AssembleConfig parameterises the congruence-first assembly sweep
+// cmd/unstencil-bench runs with -assemble and CI records as BENCH_PR9.json.
+// The sweep answers the questions the template-aware assembly path exists
+// for: how much wall time does stamping congruent rows save over running
+// quadrature per row, how does that margin hold up off the dyadic ideal
+// (jittered meshes, where verification demotes rows), and is the output
+// still the naive operator bit-for-bit.
+type AssembleConfig struct {
+	// Size is the structured-mesh resolution (Size×Size quads, two
+	// triangles each). Powers of two keep element translations bitwise
+	// exact — the regime where congruence classes are large.
+	Size int
+	// Orders are the dG polynomial orders swept.
+	Orders []int
+	// Jitters are the vertex-jitter amplitudes swept; 0 is the dyadic
+	// structured mesh, positive values break translation congruence and
+	// exercise the verification/demotion tier.
+	Jitters []float64
+	// Reps is how many times each assembly is run; the minimum wall time
+	// is reported. Assembly is seconds-long, so classic b.N iteration
+	// would multiply the sweep cost for no extra signal.
+	Reps int
+	// Workers bounds assembly concurrency; 0 follows GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DefaultAssembleConfig: 16×16 is the smallest structured mesh where P2
+// support stays narrower than the domain, so interior rows form large
+// congruence classes rather than all wrapping identically.
+func DefaultAssembleConfig() AssembleConfig {
+	return AssembleConfig{Size: 16, Orders: []int{1, 2}, Jitters: []float64{0, 0.3}, Reps: 2}
+}
+
+// EffectiveWorkers resolves the configured worker count against GOMAXPROCS.
+func (c AssembleConfig) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AssembleResult is one (order, jitter) measurement: naive vs congruent
+// assembly wall time, the class structure the signature pass found, how
+// the verification tier resolved, and both identity checks.
+type AssembleResult struct {
+	P      int     `json:"p"`
+	Jitter float64 `json:"jitter"`
+
+	NaiveMS     float64 `json:"naive_ms"`
+	CongruentMS float64 `json:"congruent_ms"`
+	// Speedup is NaiveMS / CongruentMS — the acceptance metric.
+	Speedup float64 `json:"speedup"`
+
+	// Class structure and member outcomes, from CongruenceStats.
+	Rows            int     `json:"rows"`
+	Classes         int     `json:"classes"`
+	RowsIntegrated  int     `json:"rows_integrated"`
+	RowsStamped     int     `json:"rows_stamped"`
+	RowsVerified    int     `json:"rows_verified"`
+	RowsDemoted     int     `json:"rows_demoted"`
+	ClassesVerified int     `json:"classes_verified"`
+	ClassesDemoted  int     `json:"classes_demoted"`
+	SignatureWallMS float64 `json:"signature_wall_ms"`
+	// ProbeCongruent is false when the strided congruence probe found no
+	// repeated signatures and assembly fell back to the naive schedule.
+	ProbeCongruent bool `json:"probe_congruent"`
+
+	// MaxDiff is the worst congruent-vs-naive CSR disagreement on exact
+	// bit patterns: stamping promises bit identity, so anything other
+	// than 0 is a defect the trajectory file records.
+	MaxDiff float64 `json:"max_diff"`
+	// DirectDiff is the worst |apply − direct per-point| disagreement,
+	// the end-to-end floor the demotion tolerance is specified against.
+	DirectDiff float64 `json:"direct_diff"`
+}
+
+// AssembleReport is the BENCH_PR9.json document.
+type AssembleReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Config     AssembleConfig   `json:"config"`
+	Results    []AssembleResult `json:"results"`
+}
+
+// RunAssemble executes the sweep.
+func RunAssemble(cfg AssembleConfig) (*AssembleReport, error) {
+	if cfg.Size <= 0 {
+		cfg = DefaultAssembleConfig()
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 2
+	}
+	rep := &AssembleReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Config:     cfg,
+	}
+	for _, jitter := range cfg.Jitters {
+		var m *mesh.Mesh
+		if jitter == 0 {
+			m = mesh.Structured(cfg.Size)
+		} else {
+			m = mesh.JitteredStructured(cfg.Size, jitter, 1)
+		}
+		for _, p := range cfg.Orders {
+			f := dg.Project(m, p, testField, 2)
+			ev, err := core.NewEvaluator(f, core.Options{P: p, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			res := AssembleResult{P: p, Jitter: jitter}
+
+			var naive, cong *operator.Operator
+			res.NaiveMS, naive, err = assembleMS(ev, core.AssembleOpts{}, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			res.CongruentMS, cong, err = assembleMS(ev, core.AssembleOpts{Congruence: core.CongruenceTemplate}, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			if res.CongruentMS > 0 {
+				res.Speedup = res.NaiveMS / res.CongruentMS
+			}
+
+			cs := cong.Congruence
+			if cs == nil {
+				return nil, fmt.Errorf("p=%d jitter=%g: congruent assembly recorded no stats", p, jitter)
+			}
+			res.Rows, res.Classes = cs.Rows, cs.Classes
+			res.RowsIntegrated, res.RowsStamped = cs.RowsIntegrated, cs.RowsStamped
+			res.RowsVerified, res.RowsDemoted = cs.RowsVerified, cs.RowsDemoted
+			res.ClassesVerified, res.ClassesDemoted = cs.ClassesVerified, cs.ClassesDemoted
+			res.SignatureWallMS = float64(cs.SignatureWall) / float64(time.Millisecond)
+			res.ProbeCongruent = cs.ProbeCongruent
+
+			res.MaxDiff = expandedMaxDiff(cong, naive)
+			direct, err := ev.RunPerPoint(0)
+			if err != nil {
+				return nil, err
+			}
+			applied, err := cong.Apply(ev.Field)
+			if err != nil {
+				return nil, err
+			}
+			for i := range applied {
+				if d := math.Abs(applied[i] - direct.Solution[i]); d > res.DirectDiff {
+					res.DirectDiff = d
+				}
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}
+
+// assembleMS runs one assembly variant reps times and returns the minimum
+// wall time in milliseconds plus the last assembled operator.
+func assembleMS(ev *core.Evaluator, opts core.AssembleOpts, reps int) (float64, *operator.Operator, error) {
+	best := math.Inf(1)
+	var op *operator.Operator
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		o, err := ev.AssembleOperator(opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ms := float64(time.Since(start)) / float64(time.Millisecond); ms < best {
+			best = ms
+		}
+		op = o
+	}
+	return best, op, nil
+}
+
+// expandedMaxDiff compares two operators as expanded plain CSR on exact bit
+// patterns. Any structural mismatch (shape, permutation, sparsity) reports
+// +Inf; value-bit mismatches report the worst absolute difference, with
+// denormal-min standing in for differing bits of equal value (±0).
+func expandedMaxDiff(got, want *operator.Operator) float64 {
+	g, w := got.Expand(), want.Expand()
+	if g.Rows != w.Rows || g.Cols != w.Cols || len(g.ColInd) != len(w.ColInd) {
+		return math.Inf(1)
+	}
+	for i := range g.Perm {
+		if g.Perm[i] != w.Perm[i] {
+			return math.Inf(1)
+		}
+	}
+	for r := 0; r < g.Rows; r++ {
+		if g.RowPtr[r+1] != w.RowPtr[r+1] {
+			return math.Inf(1)
+		}
+	}
+	var maxDiff float64
+	for k := range g.ColInd {
+		if g.ColInd[k] != w.ColInd[k] {
+			return math.Inf(1)
+		}
+		if math.Float64bits(g.Val[k]) != math.Float64bits(w.Val[k]) {
+			if d := math.Abs(g.Val[k] - w.Val[k]); d > maxDiff {
+				maxDiff = d
+			}
+			if maxDiff == 0 {
+				maxDiff = math.SmallestNonzeroFloat64
+			}
+		}
+	}
+	return maxDiff
+}
+
+// Fprint renders the sweep as a table.
+func (rep *AssembleReport) Fprint(w *os.File) {
+	fmt.Fprintf(w, "%-4s %7s %10s %12s %8s %8s %9s %9s %8s %10s %10s\n",
+		"P", "jitter", "naive ms", "congruent ms", "speedup", "classes", "stamped", "demoted", "sig ms", "max diff", "direct")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "P%-3d %7.2f %10.0f %12.0f %7.2fx %8d %4d/%-4d %9d %8.0f %10.2e %10.2e\n",
+			r.P, r.Jitter, r.NaiveMS, r.CongruentMS, r.Speedup, r.Classes,
+			r.RowsStamped, r.Rows, r.RowsDemoted, r.SignatureWallMS, r.MaxDiff, r.DirectDiff)
+	}
+}
+
+// Markdown renders the sweep as the README's assembly table.
+func (rep *AssembleReport) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| P | jitter | naive | congruent | speedup | classes | stamped rows | demoted | max diff |\n")
+	b.WriteString("|---|--------|-------|-----------|---------|---------|--------------|---------|----------|\n")
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "| %d | %.2f | %.2f s | %.2f s | **%.2fx** | %d | %d/%d | %d | %.0e |\n",
+			r.P, r.Jitter, r.NaiveMS/1000, r.CongruentMS/1000, r.Speedup,
+			r.Classes, r.RowsStamped, r.Rows, r.RowsDemoted, r.MaxDiff)
+	}
+	return b.String()
+}
+
+// Save writes the report as stable, indented JSON.
+func (rep *AssembleReport) Save(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GHA flattens the sweep into github-action-benchmark entries: congruent
+// assembly wall per (order, jitter), with the naive baseline and stamp
+// outcome in the hover text.
+func (rep *AssembleReport) GHA() []GHAEntry {
+	var out []GHAEntry
+	for _, r := range rep.Results {
+		out = append(out, GHAEntry{
+			Name:  fmt.Sprintf("assemble/p%d/jitter%.2f/congruent", r.P, r.Jitter),
+			Unit:  "ms",
+			Value: r.CongruentMS,
+			Extra: fmt.Sprintf("%.2fx vs naive %.0f ms; %d/%d stamped, %d demoted",
+				r.Speedup, r.NaiveMS, r.RowsStamped, r.Rows, r.RowsDemoted),
+		})
+	}
+	return out
+}
+
+// SaveGHA writes the github-action-benchmark JSON array.
+func (rep *AssembleReport) SaveGHA(path string) error {
+	data, err := json.MarshalIndent(rep.GHA(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

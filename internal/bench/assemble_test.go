@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAssembleSweepSmoke is the CI gate on the congruence-first assembly
+// trade at reduced size: the dyadic run must stamp rows and stay bitwise
+// identical to naive assembly (MaxDiff exactly 0), the jittered run must
+// stay within the demotion tolerance end-to-end, and the report renderers
+// must carry the numbers through.
+func TestAssembleSweepSmoke(t *testing.T) {
+	cfg := AssembleConfig{Size: 8, Orders: []int{1}, Jitters: []float64{0, 0.3}, Reps: 1, Workers: 2}
+	rep, err := RunAssemble(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.MaxDiff != 0 {
+			t.Errorf("p=%d jitter=%g: congruent CSR diverges from naive by %.3e, want bitwise 0",
+				r.P, r.Jitter, r.MaxDiff)
+		}
+		if r.DirectDiff > 1e-12 {
+			t.Errorf("p=%d jitter=%g: apply diverges from direct eval by %.3e", r.P, r.Jitter, r.DirectDiff)
+		}
+		if r.RowsIntegrated+r.RowsStamped != r.Rows {
+			t.Errorf("p=%d jitter=%g: integrated %d + stamped %d != rows %d",
+				r.P, r.Jitter, r.RowsIntegrated, r.RowsStamped, r.Rows)
+		}
+		if r.NaiveMS <= 0 || r.CongruentMS <= 0 || math.IsInf(r.Speedup, 0) {
+			t.Errorf("p=%d jitter=%g: timings not recorded: naive=%.3f congruent=%.3f",
+				r.P, r.Jitter, r.NaiveMS, r.CongruentMS)
+		}
+	}
+	// The dyadic periodic run stamps most rows; the jittered run may demote
+	// everything but must still account for every row.
+	if dyadic := rep.Results[0]; dyadic.RowsStamped == 0 {
+		t.Errorf("dyadic run stamped no rows: %+v", dyadic)
+	}
+	if md := rep.Markdown(); !strings.Contains(md, "| 1 | 0.00 |") {
+		t.Errorf("markdown table missing dyadic row:\n%s", md)
+	}
+	if gha := rep.GHA(); len(gha) != 2 || gha[0].Unit != "ms" {
+		t.Errorf("GHA entries malformed: %+v", gha)
+	}
+}

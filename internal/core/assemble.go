@@ -57,6 +57,17 @@ type AssembleOpts struct {
 	Points []geom.Point
 	// RowOrder selects the CSR row layout (default RowMorton).
 	RowOrder RowOrder
+	// Congruence selects congruence-first assembly (per-point scheme
+	// only): rows are grouped by geometric signature before any quadrature
+	// runs, one representative per class is integrated, and provably
+	// congruent rows are stamped from it (see signature.go). The default
+	// assembles every row independently.
+	Congruence CongruenceMode
+	// SigQuantum overrides the signature quantisation step, in units of h
+	// (0 = the sigQuantum default). Coarser quanta put more near-congruent
+	// rows into shared prefilter buckets; correctness never depends on the
+	// value — the fuzz tests sweep it. Negative is rejected.
+	SigQuantum float64
 }
 
 // AssembleOperator builds the assembled post-processing operator for this
@@ -100,12 +111,20 @@ func (ev *Evaluator) AssembleOperator(opts AssembleOpts) (*operator.Operator, er
 		ctr metrics.Counters
 		err error
 	)
+	var stats *operator.CongruenceStats
 	switch opts.Scheme {
 	case PerPoint:
-		bld, ctr, err = ev.assemblePerPoint(positions, perm, workers, basisN, cols)
+		if opts.Congruence == CongruenceTemplate {
+			bld, ctr, stats, err = ev.assemblePerPointCongruent(positions, perm, workers, basisN, cols, opts.SigQuantum)
+		} else {
+			bld, ctr, err = ev.assemblePerPoint(positions, perm, workers, basisN, cols)
+		}
 	case PerElement:
 		if custom {
 			return nil, fmt.Errorf("core: per-element assembly requires the evaluation grid (custom points need PerPoint)")
+		}
+		if opts.Congruence != CongruenceNone {
+			return nil, fmt.Errorf("core: congruence-first assembly requires the per-point scheme")
 		}
 		bld, ctr, err = ev.assemblePerElement(opts.Blocks, perm, workers, basisN, cols)
 	default:
@@ -114,7 +133,9 @@ func (ev *Evaluator) AssembleOperator(opts AssembleOpts) (*operator.Operator, er
 	if err != nil {
 		return nil, err
 	}
-	return bld.Finish(perm, workers, opts.Scheme.String(), time.Since(start), ctr), nil
+	op := bld.Finish(perm, workers, opts.Scheme.String(), time.Since(start), ctr)
+	op.Congruence = stats
+	return op, nil
 }
 
 // rowAccum merges one row's (element → weights) contributions across
@@ -225,6 +246,23 @@ func (ev *Evaluator) assemblePerPoint(positions []geom.Point, perm []int32, work
 // stencil centred at pos, mirroring evalAt's enumeration (periodic images,
 // hash-grid candidates, bounding-box rejection).
 func (ev *Evaluator) assembleRow(pos geom.Point, wk *worker, acc *rowAccum) error {
+	acc.reset()
+	return ev.forEachRowCandidate(pos, wk, func(e int32, center geom.Point) {
+		if ev.integrateWeights(center, e, wk) {
+			wk.counters.TruePositives++
+			acc.add(e, wk.wacc)
+		}
+	})
+}
+
+// forEachRowCandidate enumerates, in the deterministic order the assembly
+// integrates them, every bounding-box-passing (periodic image, element)
+// candidate pair of a stencil centred at pos. Both the integration pass
+// (assembleRow) and the congruence signature pass walk candidates through
+// this one enumerator, so a signature match certifies that the integration
+// pass would visit translate-identical pairs in the identical sequence —
+// the property row stamping relies on.
+func (ev *Evaluator) forEachRowCandidate(pos geom.Point, wk *worker, visit func(e int32, center geom.Point)) error {
 	kx, ky, err := ev.kernelsFor(pos)
 	if err != nil {
 		return err
@@ -236,7 +274,6 @@ func (ev *Evaluator) assembleRow(pos geom.Point, wk *worker, acc *rowAccum) erro
 		pos.X+ev.H*xlo, pos.Y+ev.H*ylo,
 		pos.X+ev.H*xhi, pos.Y+ev.H*yhi,
 	)
-	acc.reset()
 	ev.forEachShift(supp, func(dx, dy int) {
 		shift := geom.Pt(float64(dx), float64(dy))
 		box := supp.Translate(shift.Scale(-1))
@@ -248,10 +285,7 @@ func (ev *Evaluator) assembleRow(pos geom.Point, wk *worker, acc *rowAccum) erro
 			if !ev.elemBounds[e].Intersects(box) {
 				continue
 			}
-			if ev.integrateWeights(center, e, wk) {
-				wk.counters.TruePositives++
-				acc.add(e, wk.wacc)
-			}
+			visit(e, center)
 		}
 	})
 	return nil

@@ -1,6 +1,10 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
 
 // OperatorCounters tracks the assembled-operator apply traffic and the
 // row-congruence template compression the server is getting out of it.
@@ -24,6 +28,44 @@ type OperatorCounters struct {
 	// BytesSaved accumulates resident bytes saved by template dedup
 	// (plain CSR size minus compressed size) across admitted operators.
 	BytesSaved atomic.Uint64
+
+	// Congruence-first assembly outcomes, accumulated per assembled
+	// operator: rows that ran quadrature vs rows stamped from a class
+	// representative, and classes whose members needed the verification
+	// integration vs classes that demoted members to plain rows.
+	RowsAssembled   atomic.Uint64
+	RowsStamped     atomic.Uint64
+	ClassesVerified atomic.Uint64
+	ClassesDemoted  atomic.Uint64
+	// AssemblyWallEWMA holds an exponentially weighted moving average of
+	// assembly wall time in milliseconds, as float64 bits (CAS-updated:
+	// assemblies can finish concurrently on job workers).
+	AssemblyWallEWMA atomic.Uint64
+}
+
+// assemblyWallAlpha weights the newest assembly at 1/4 — smooth enough to
+// ride out cache-admission bursts, fresh enough to track a mesh change.
+const assemblyWallAlpha = 0.25
+
+// RecordAssembly folds one congruence-first assembly outcome into the
+// counters.
+func (o *OperatorCounters) RecordAssembly(rowsAssembled, rowsStamped, classesVerified, classesDemoted int, wall time.Duration) {
+	o.RowsAssembled.Add(uint64(rowsAssembled))
+	o.RowsStamped.Add(uint64(rowsStamped))
+	o.ClassesVerified.Add(uint64(classesVerified))
+	o.ClassesDemoted.Add(uint64(classesDemoted))
+	ms := float64(wall) / float64(time.Millisecond)
+	for {
+		old := o.AssemblyWallEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := ms
+		if old != 0 {
+			next = prev + assemblyWallAlpha*(ms-prev)
+		}
+		if o.AssemblyWallEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
 }
 
 // RecordApply folds one apply of nf fields into the counters.
@@ -56,20 +98,35 @@ type OperatorSnapshot struct {
 	RowsTotal       uint64  `json:"rows_total"`
 	TemplateHitRate float64 `json:"template_hit_rate"`
 	BytesSaved      uint64  `json:"bytes_saved"`
+
+	RowsAssembled      uint64  `json:"rows_assembled"`
+	RowsStamped        uint64  `json:"rows_stamped"`
+	StampRate          float64 `json:"stamp_rate"`
+	ClassesVerified    uint64  `json:"classes_verified"`
+	ClassesDemoted     uint64  `json:"classes_demoted"`
+	AssemblyWallEWMAMs float64 `json:"assembly_wall_ewma_ms"`
 }
 
 // Snapshot reads all counters at one (non-atomic across fields) instant.
 func (o *OperatorCounters) Snapshot() OperatorSnapshot {
 	s := OperatorSnapshot{
-		SingleApplies: o.SingleApplies.Load(),
-		BlockApplies:  o.BlockApplies.Load(),
-		FieldsApplied: o.FieldsApplied.Load(),
-		RowsTemplated: o.RowsTemplated.Load(),
-		RowsTotal:     o.RowsTotal.Load(),
-		BytesSaved:    o.BytesSaved.Load(),
+		SingleApplies:      o.SingleApplies.Load(),
+		BlockApplies:       o.BlockApplies.Load(),
+		FieldsApplied:      o.FieldsApplied.Load(),
+		RowsTemplated:      o.RowsTemplated.Load(),
+		RowsTotal:          o.RowsTotal.Load(),
+		BytesSaved:         o.BytesSaved.Load(),
+		RowsAssembled:      o.RowsAssembled.Load(),
+		RowsStamped:        o.RowsStamped.Load(),
+		ClassesVerified:    o.ClassesVerified.Load(),
+		ClassesDemoted:     o.ClassesDemoted.Load(),
+		AssemblyWallEWMAMs: math.Float64frombits(o.AssemblyWallEWMA.Load()),
 	}
 	if s.RowsTotal > 0 {
 		s.TemplateHitRate = float64(s.RowsTemplated) / float64(s.RowsTotal)
+	}
+	if total := s.RowsAssembled + s.RowsStamped; total > 0 {
+		s.StampRate = float64(s.RowsStamped) / float64(total)
 	}
 	return s
 }

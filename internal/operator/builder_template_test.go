@@ -1,0 +1,117 @@
+package operator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"unstencil/internal/metrics"
+)
+
+// buildTemplateAware constructs a builder in template mode with `users` rows
+// resolved through one shared 4-entry template at staggered bases, plus one
+// plain row. Enough users make the template a net byte saving; few make
+// Finish materialise everything as plain CSR.
+func buildTemplateAware(users int) *Operator {
+	rows := users + 1
+	b := NewBuilder(rows, int32ToInt(int32(4*rows+8)), 2)
+	b.MarkTemplateAware()
+	tcols := []int32{0, 1, 4, 5}
+	tvals := []float64{0.5, -0.25, 0.125, 2}
+	tpl := b.AddTemplate(tcols, tvals)
+	for r := 0; r < users; r++ {
+		b.SetRowTemplated(r, tpl, int32(4*r))
+	}
+	b.SetRow(users, []int32{2, 3}, []float64{7, -3})
+	return b.Finish(nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+}
+
+func int32ToInt(v int32) int { return int(v) }
+
+// TestTemplateAwareFinishEmitsTemplateSet: with enough rows sharing the
+// pattern, Finish produces the TemplateSet directly — no Templatize rescan
+// — and the expanded CSR equals what plain SetRow calls would have stored,
+// bit for bit.
+func TestTemplateAwareFinishEmitsTemplateSet(t *testing.T) {
+	op := buildTemplateAware(50)
+	if !op.TemplateAware {
+		t.Fatal("operator not marked template-aware")
+	}
+	if op.Tpl == nil {
+		t.Fatal("Finish did not emit a TemplateSet despite a net byte saving")
+	}
+	if err := op.ValidateTemplates(); err != nil {
+		t.Fatalf("emitted TemplateSet invalid: %v", err)
+	}
+	if got := op.Tpl.NumTemplates(); got != 1 {
+		t.Fatalf("templates = %d, want 1", got)
+	}
+	if got := op.Tpl.TemplatedRows(); got != 50 {
+		t.Fatalf("templated rows = %d, want 50", got)
+	}
+	if op.Templatize() != op {
+		t.Error("Templatize re-scanned a template-aware operator")
+	}
+
+	ex := op.Expand()
+	if ex.NNZ() != 50*4+2 {
+		t.Fatalf("expanded nnz = %d", ex.NNZ())
+	}
+	for r := 0; r < 50; r++ {
+		lo, hi := ex.RowPtr[r], ex.RowPtr[r+1]
+		if hi-lo != 4 {
+			t.Fatalf("row %d has %d entries", r, hi-lo)
+		}
+		for i, d := range []int32{0, 1, 4, 5} {
+			if ex.ColInd[lo+int64(i)] != int32(4*r)+d {
+				t.Fatalf("row %d col[%d] = %d", r, i, ex.ColInd[lo+int64(i)])
+			}
+		}
+		for i, v := range []float64{0.5, -0.25, 0.125, 2} {
+			if math.Float64bits(ex.Val[lo+int64(i)]) != math.Float64bits(v) {
+				t.Fatalf("row %d val[%d] = %v", r, i, ex.Val[lo+int64(i)])
+			}
+		}
+	}
+}
+
+// TestTemplateAwareFinishMaterialisesWhenNotSaving: a single user of a
+// 4-entry template saves nothing over storing the row outright, so Finish
+// falls back to plain CSR — same numbers, no indirection — while the
+// operator stays marked template-aware so Templatize still skips it.
+func TestTemplateAwareFinishMaterialisesWhenNotSaving(t *testing.T) {
+	op := buildTemplateAware(1)
+	if op.Tpl != nil {
+		t.Fatal("Finish emitted a TemplateSet that costs more than it saves")
+	}
+	if !op.TemplateAware {
+		t.Fatal("fallback dropped the template-aware mark")
+	}
+	if op.NNZ() != 4+2 {
+		t.Fatalf("materialised nnz = %d", op.NNZ())
+	}
+	lo := op.RowPtr[0]
+	if op.ColInd[lo] != 0 || op.Val[lo] != 0.5 {
+		t.Fatalf("row 0 materialised wrong: col %d val %v", op.ColInd[lo], op.Val[lo])
+	}
+}
+
+// TestTemplateAwareBuilderPanics: template-mode calls outside template mode,
+// and out-of-range template references, are programming errors.
+func TestTemplateAwareBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	b := NewBuilder(2, 8, 2)
+	expectPanic("AddTemplate unaware", func() { b.AddTemplate([]int32{0, 1}, []float64{1, 2}) })
+	expectPanic("SetRowTemplated unaware", func() { b.SetRowTemplated(0, 0, 0) })
+	b.MarkTemplateAware()
+	expectPanic("empty template", func() { b.AddTemplate(nil, nil) })
+	expectPanic("bad template id", func() { b.SetRowTemplated(0, 3, 0) })
+}

@@ -61,6 +61,17 @@ type Operator struct {
 	// nnz for templated operators (see NNZ vs StoredNNZ).
 	Tpl *TemplateSet
 
+	// TemplateAware marks operators whose assembly already ran congruence
+	// detection (core's template-aware path): every congruent row the
+	// signature scheme could prove has been templated at assembly time, so
+	// Templatize skips its full FNV rescan on such operators. Not
+	// persisted; disk-loaded operators carry whatever templates were saved.
+	TemplateAware bool
+
+	// Congruence records the congruence-first assembly outcome (nil unless
+	// the template-aware assembly path built this operator).
+	Congruence *CongruenceStats
+
 	// Workers is the default Apply concurrency, stamped at assembly time;
 	// <= 1 applies serially.
 	Workers int
@@ -267,16 +278,71 @@ func (op *Operator) ApplyCounters() metrics.Counters {
 	}
 }
 
+// CongruenceStats records what the congruence-first assembly path did:
+// how much quadrature it skipped (stamped rows), how much it spent proving
+// the skips sound (verified rows), and where it fell back (demoted rows).
+type CongruenceStats struct {
+	// Rows is the operator's storage row count, Classes the number of
+	// multi-member signature classes the prefilter found.
+	Rows    int `json:"rows"`
+	Classes int `json:"classes"`
+	// RowsIntegrated counts rows that ran full quadrature: class
+	// representatives, signature singletons, and verified/demoted members.
+	RowsIntegrated int `json:"rows_integrated"`
+	// RowsStamped counts rows whose weights were copied from their class
+	// representative without quadrature — the compute the path saves.
+	// Stamping requires bit-identical stencil-local geometry, so stamped
+	// rows equal their naively assembled twins bitwise.
+	RowsStamped int `json:"rows_stamped"`
+	// RowsVerified counts quantised-match members that were fully
+	// integrated and found bitwise equal to the representative's stamp:
+	// no quadrature saved, but the row still shares the class template.
+	RowsVerified int `json:"rows_verified"`
+	// RowsDemoted counts members whose verification failed (or whose
+	// candidate shape diverged from the representative): they keep their
+	// own integrated weights as plain CSR rows.
+	RowsDemoted int `json:"rows_demoted"`
+	// ClassesVerified / ClassesDemoted count classes containing at least
+	// one verified / demoted member.
+	ClassesVerified int `json:"classes_verified"`
+	ClassesDemoted  int `json:"classes_demoted"`
+	// SignatureWall is the time spent in the signature prefilter (hash
+	// pass + grouping), the overhead the demotion acceptance bound caps.
+	SignatureWall time.Duration `json:"signature_wall_ns"`
+	// ProbeRows counts the strided sample rows the congruence probe
+	// hashed before committing to the full prefilter (0 = the operator
+	// was small enough to skip the probe). ProbeCongruent reports whether
+	// the congruence path was taken: false means the sample showed almost
+	// no repeated signatures and assembly fell back to the naive schedule,
+	// paying only the probe.
+	ProbeRows      int  `json:"probe_rows"`
+	ProbeCongruent bool `json:"probe_congruent"`
+}
+
 // Builder accumulates rows during parallel assembly and freezes them into
 // CSR. Each row is set exactly once by exactly one goroutine (rows are the
 // assembly's unit of output), so no synchronisation is needed beyond the
 // caller's dispatch barrier.
+//
+// A builder in template mode (MarkTemplateAware) additionally accepts
+// shared stencil templates: AddTemplate registers a pattern once and
+// SetRowTemplated resolves a row through it, producing the TemplateSet
+// directly instead of leaving dedup to a post-hoc Templatize rescan.
 type Builder struct {
 	rows   int
 	cols   int
 	basisN int
 	cinds  [][]int32
 	vals   [][]float64
+
+	// Template mode (nil/false outside it). tplDelta/tplVal hold each
+	// registered template's column deltas and weights; rowTpl/rowBase map
+	// rows onto templates exactly as in TemplateSet.
+	aware    bool
+	tplDelta [][]int32
+	tplVal   [][]float64
+	rowTpl   []int32
+	rowBase  []int32
 }
 
 // NewBuilder sizes a builder for a rows × cols operator with basisN modes
@@ -301,7 +367,62 @@ func (b *Builder) SetRow(r int, cols []int32, vals []float64) {
 	b.vals[r] = append([]float64(nil), vals...)
 }
 
-// Finish flattens the accumulated rows into an immutable Operator.
+// MarkTemplateAware switches the builder into template mode: the finished
+// operator carries TemplateAware (so Templatize skips its rescan) and may
+// resolve rows through templates registered with AddTemplate. Call before
+// any SetRowTemplated.
+func (b *Builder) MarkTemplateAware() {
+	if b.aware {
+		return
+	}
+	b.aware = true
+	b.rowTpl = make([]int32, b.rows)
+	for i := range b.rowTpl {
+		b.rowTpl[i] = -1
+	}
+	b.rowBase = make([]int32, b.rows)
+}
+
+// AddTemplate registers a shared stencil pattern and returns its id. cols
+// are ascending absolute column indices of the representative row; they are
+// stored as deltas from cols[0], so rows at any base column can resolve
+// through the pattern. Must not be called concurrently with itself (the
+// assembly's serial stamping phase registers templates).
+func (b *Builder) AddTemplate(cols []int32, vals []float64) int32 {
+	if !b.aware {
+		panic("operator: AddTemplate on a builder not in template mode")
+	}
+	if len(cols) == 0 || len(cols) != len(vals) {
+		panic(fmt.Sprintf("operator: template with %d columns, %d values", len(cols), len(vals)))
+	}
+	deltas := make([]int32, len(cols))
+	for i, c := range cols {
+		deltas[i] = c - cols[0]
+	}
+	b.tplDelta = append(b.tplDelta, deltas)
+	b.tplVal = append(b.tplVal, append([]float64(nil), vals...))
+	return int32(len(b.tplDelta) - 1)
+}
+
+// SetRowTemplated resolves storage row r through template tpl at the given
+// base column (the row's first column index). The row stores no CSR
+// entries of its own.
+func (b *Builder) SetRowTemplated(r int, tpl, base int32) {
+	if !b.aware {
+		panic("operator: SetRowTemplated on a builder not in template mode")
+	}
+	if tpl < 0 || int(tpl) >= len(b.tplDelta) {
+		panic(fmt.Sprintf("operator: row %d references template %d of %d", r, tpl, len(b.tplDelta)))
+	}
+	b.rowTpl[r] = tpl
+	b.rowBase[r] = base
+}
+
+// Finish flattens the accumulated rows into an immutable Operator. In
+// template mode the registered templates become the operator's TemplateSet
+// when they save net bytes (the same guard Templatize applies); otherwise
+// templated rows are materialised as plain CSR, so the caller never ends up
+// with an indirection that costs more than it saves.
 func (b *Builder) Finish(perm []int32, workers int, scheme string, wall time.Duration, counters metrics.Counters) *Operator {
 	nnz := 0
 	for _, r := range b.cinds {
@@ -316,14 +437,62 @@ func (b *Builder) Finish(perm []int32, workers int, scheme string, wall time.Dur
 		Val:              make([]float64, 0, nnz),
 		Perm:             perm,
 		Workers:          workers,
+		TemplateAware:    b.aware,
 		AssemblyScheme:   scheme,
 		AssemblyWall:     wall,
 		AssemblyCounters: counters,
 	}
+	if b.aware && len(b.tplDelta) > 0 && b.templatesSaveBytes() {
+		ts := &TemplateSet{
+			TplPtr:  make([]int64, 1, len(b.tplDelta)+1),
+			RowTpl:  b.rowTpl,
+			RowBase: b.rowBase,
+		}
+		for t := range b.tplDelta {
+			ts.TplDelta = append(ts.TplDelta, b.tplDelta[t]...)
+			ts.TplVal = append(ts.TplVal, b.tplVal[t]...)
+			ts.TplPtr = append(ts.TplPtr, int64(len(ts.TplVal)))
+		}
+		op.Tpl = ts
+		for r := 0; r < b.rows; r++ {
+			if ts.RowTpl[r] < 0 {
+				op.ColInd = append(op.ColInd, b.cinds[r]...)
+				op.Val = append(op.Val, b.vals[r]...)
+			}
+			op.RowPtr[r+1] = int64(len(op.Val))
+		}
+		return op
+	}
 	for r := 0; r < b.rows; r++ {
-		op.ColInd = append(op.ColInd, b.cinds[r]...)
-		op.Val = append(op.Val, b.vals[r]...)
+		if b.aware && b.rowTpl[r] >= 0 {
+			// Template mode without a net saving: materialise the row.
+			t := b.rowTpl[r]
+			for i, d := range b.tplDelta[t] {
+				op.ColInd = append(op.ColInd, b.rowBase[r]+d)
+				op.Val = append(op.Val, b.tplVal[t][i])
+			}
+		} else {
+			op.ColInd = append(op.ColInd, b.cinds[r]...)
+			op.Val = append(op.Val, b.vals[r]...)
+		}
 		op.RowPtr[r+1] = int64(len(op.Val))
 	}
 	return op
+}
+
+// templatesSaveBytes applies Templatize's net-byte guard to the builder's
+// registered templates: templated rows' would-be CSR entries (12 B each)
+// must outweigh one stored copy of each template plus the Rows-wide side
+// table.
+func (b *Builder) templatesSaveBytes() bool {
+	var tplNNZ, savedNNZ int64
+	for _, d := range b.tplDelta {
+		tplNNZ += int64(len(d))
+	}
+	for r := 0; r < b.rows; r++ {
+		if t := b.rowTpl[r]; t >= 0 {
+			savedNNZ += int64(len(b.tplDelta[t]))
+		}
+	}
+	return (savedNNZ-tplNNZ)*12-int64(b.rows)*8-int64(len(b.tplDelta)+1)*8 > 0
 }

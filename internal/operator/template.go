@@ -135,8 +135,13 @@ func (op *Operator) rowsCongruent(a, b int) bool {
 // for the per-row side table), the receiver is returned unchanged — the
 // transparent fallback for unstructured meshes. The returned operator's
 // applies are bit-identical to the receiver's.
+//
+// Operators built by the template-aware assembly path (TemplateAware) are
+// returned unchanged without the FNV rescan: congruence was already
+// detected before integration, so every cache admission would otherwise
+// pay a full pass over the CSR arrays for nothing.
 func (op *Operator) Templatize() *Operator {
-	if op.Tpl != nil || op.Rows == 0 {
+	if op.Tpl != nil || op.TemplateAware || op.Rows == 0 {
 		return op
 	}
 	// Pass 1: bucket rows by quantised hash, gate with exact congruence.

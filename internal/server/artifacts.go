@@ -233,7 +233,7 @@ const (
 func (a *Artifacts) Operator(ev *core.Evaluator, meshID string) (*operator.Operator, string, error) {
 	key := OpKey(meshID, ev.Opt.P, ev.Opt.GridDegree, ev.Opt.Boundary)
 	return a.operatorFor(key, func() (*operator.Operator, error) {
-		return ev.AssembleOperator(core.AssembleOpts{})
+		return ev.AssembleOperator(core.AssembleOpts{Congruence: core.CongruenceTemplate})
 	})
 }
 
@@ -260,7 +260,9 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 		// Compress row-congruent stencils into shared templates before the
 		// operator is admitted anywhere: Templatize is lossless (bitwise
 		// fallback when rows do not share structure) and the compressed form
-		// is what both the LRU and the disk store should hold.
+		// is what both the LRU and the disk store should hold. For operators
+		// built by congruence-first assembly this is a no-op — they emitted
+		// their templates at assembly time and skip the rescan.
 		op = op.Templatize()
 		a.recordOperator(op)
 		src = OpSrcAssembled
@@ -280,13 +282,17 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 }
 
 // recordOperator folds one operator admission (assembled or loaded from
-// disk) into the template-compression counters.
+// disk) into the template-compression counters, plus the congruence-first
+// assembly outcome when the operator carries one (disk loads do not).
 func (a *Artifacts) recordOperator(op *operator.Operator) {
 	templated := 0
 	if op.Tpl != nil {
 		templated = op.Tpl.TemplatedRows()
 	}
 	a.ops.RecordTemplates(op.Rows, templated, op.BytesSaved())
+	if cs := op.Congruence; cs != nil {
+		a.ops.RecordAssembly(cs.RowsIntegrated, cs.RowsStamped, cs.ClassesVerified, cs.ClassesDemoted, op.AssemblyWall)
+	}
 }
 
 // QueryOperator returns an assembled operator whose rows are the given
@@ -306,7 +312,7 @@ func (a *Artifacts) QueryOperator(ev *core.Evaluator, meshID string, pts []geom.
 	}
 	key := fmt.Sprintf("qop:%s/p%d/%v/%x", meshID, ev.Opt.P, ev.Opt.Boundary, h.Sum(nil))
 	return a.operatorFor(key, func() (*operator.Operator, error) {
-		return ev.AssembleOperator(core.AssembleOpts{Points: pts})
+		return ev.AssembleOperator(core.AssembleOpts{Points: pts, Congruence: core.CongruenceTemplate})
 	})
 }
 
