@@ -12,6 +12,7 @@
 //	unstencil-bench -artifact -artifact-out BENCH_PR6.json
 //	unstencil-bench -spmm -spmm-out BENCH_PR8.json -spmm-gha BENCH_PR8.gha.json
 //	unstencil-bench -assemble -assemble-out BENCH_PR9.json -assemble-gha BENCH_PR9.gha.json
+//	unstencil-bench -bsr -bsr-out BENCH_PR10.json -bsr-gha BENCH_PR10.gha.json
 //
 // Each invocation merges its results into the output file under -label,
 // preserving runs recorded under other labels; -compare prints a
@@ -27,7 +28,9 @@
 // -assemble runs the congruence-first assembly sweep: naive vs
 // template-aware wall time, congruence-class structure, verification and
 // demotion outcomes, and the bitwise identity check against the naive
-// operator.
+// operator. -bsr runs the block-sparse layout sweep: scalar CSR vs blocked
+// apply throughput per order and batch width, resident sizes per layout,
+// and the bitwise identity check between the two kernels.
 package main
 
 import (
@@ -65,8 +68,54 @@ func main() {
 		assembleGHA    = flag.String("assemble-gha", "", "with -assemble: also write the github-action-benchmark JSON array here")
 		assembleMD     = flag.String("assemble-md", "", "with -assemble: also write the README markdown table here")
 		assembleReps   = flag.Int("assemble-reps", 0, "with -assemble: assemblies per variant, minimum reported (0 = default)")
+		bsr            = flag.Bool("bsr", false, "run the block-sparse layout sweep instead of the hot-path suite")
+		bsrOut         = flag.String("bsr-out", "BENCH_PR10.json", "with -bsr: report file to write")
+		bsrGHA         = flag.String("bsr-gha", "", "with -bsr: also write the github-action-benchmark JSON array here")
+		bsrMD          = flag.String("bsr-md", "", "with -bsr: also write the README markdown table here")
+		bsrFields      = flag.String("bsr-fields", "", "with -bsr: comma-separated batch widths, e.g. 1,8")
 	)
 	flag.Parse()
+
+	if *bsr {
+		bcfg := bench.DefaultBSRConfig()
+		if *size > 0 {
+			bcfg.Size = *size
+		}
+		if *workers > 0 {
+			bcfg.Workers = *workers
+		}
+		if *bsrFields != "" {
+			fs, err := parseWorkerList(*bsrFields)
+			if err != nil {
+				fatal(err)
+			}
+			bcfg.Fields = fs
+		}
+		fmt.Fprintf(os.Stderr, "running block-sparse layout sweep (size=%d, orders=%v, fields=%v)...\n",
+			bcfg.Size, bcfg.Orders, bcfg.Fields)
+		rep, err := bench.RunBSR(bcfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Save(*bsrOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bsrOut)
+		if *bsrGHA != "" {
+			if err := rep.SaveGHA(*bsrGHA); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *bsrGHA)
+		}
+		if *bsrMD != "" {
+			if err := os.WriteFile(*bsrMD, []byte(rep.Markdown()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *bsrMD)
+		}
+		return
+	}
 
 	if *assemble {
 		bcfg := bench.DefaultAssembleConfig()

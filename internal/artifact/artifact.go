@@ -53,6 +53,20 @@
 // remain readable by v1-era tooling, and every v1 file remains readable
 // here. The template arrays are fixed-width (int64/int32/float64) like
 // the CSR arrays, so templated operators mmap zero-copy the same way.
+//
+// # Format version 3 (block-sparse operators)
+//
+// Version 3 containers persist the BSR layout: the scalar column-index
+// section (SecColInd) is replaced by SecBlockID (one int32 element id per
+// basisN-wide block) and, when templated, SecTplDelta is replaced by
+// SecTplBlockDelta. Values, row pointers, permutation and the remaining
+// template sections are unchanged, so a v3 operator mmaps zero-copy
+// exactly like v1/v2 — with an index stream basisN× smaller on disk and
+// in residency. The substitution is load-bearing (a v1/v2 reader would
+// see no column indices at all), hence the version bump; this reader
+// accepts v1 through v3, and writers emit the lowest version that can
+// represent the operator, so CSR artifacts stay readable by older
+// tooling.
 package artifact
 
 import (
@@ -75,6 +89,11 @@ const Version = 1
 // sections. Writers use it only when templates are present, so plain
 // artifacts stay version 1.
 const VersionTemplated = 2
+
+// VersionBSR marks containers whose operator index is blocked: SecBlockID
+// in place of SecColInd (and SecTplBlockDelta in place of SecTplDelta when
+// templated). Writers use it only for BSR-form operators.
+const VersionBSR = 3
 
 // Artifact kinds (header field).
 const (
@@ -128,6 +147,12 @@ const (
 	SecTplVal   uint32 = 54 // float64, template entries (weights)
 	SecRowTpl   uint32 = 55 // int32, rows (template id, -1 = plain row)
 	SecRowBase  uint32 = 56 // int32, rows (templated row's base column)
+
+	// Blocked index payload (version 3 operators only): these replace
+	// SecColInd / SecTplDelta, storing one int32 per basisN-wide element
+	// block instead of one per entry.
+	SecBlockID       uint32 = 57 // int32, nnz/basisN (element id per block)
+	SecTplBlockDelta uint32 = 58 // int32, template blocks (element deltas)
 )
 
 const (
@@ -191,9 +216,9 @@ func Parse(r io.ReaderAt, size int64) (*Container, error) {
 		return nil, ErrBadMagic
 	}
 	v := binary.LittleEndian.Uint16(hdr[4:6])
-	if v < Version || v > VersionTemplated {
+	if v < Version || v > VersionBSR {
 		return nil, fmt.Errorf("%w: got v%d, this reader supports v%d-v%d",
-			ErrVersion, v, Version, VersionTemplated)
+			ErrVersion, v, Version, VersionBSR)
 	}
 	kind := binary.LittleEndian.Uint16(hdr[6:8])
 	n := binary.LittleEndian.Uint32(hdr[8:12])

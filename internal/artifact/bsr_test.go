@@ -1,0 +1,169 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unstencil/internal/operator"
+)
+
+// A BSR operator must round-trip through a version 3 container — blocked
+// index, templates, and apply results all bitwise — on both the portable
+// and the mapped load path, and the container must shrink against the
+// scalar CSR encoding of the same operator.
+func TestBSROperatorRoundTrip(t *testing.T) {
+	plainCSR, toplCSR := congruentOperator(t, 300, 80, 3)
+	for name, pair := range map[string][2]*operator.Operator{
+		"plain":     {plainCSR, plainCSR.ToBSR()},
+		"templated": {toplCSR, toplCSR.ToBSR()},
+	} {
+		csr, bsr := pair[0], pair[1]
+		if bsr.BSR == nil {
+			t.Fatalf("%s: congruent operator did not convert to BSR", name)
+		}
+		key := "op:test/p2/g4/periodic"
+		dataCSR := encodeOp(t, key, csr)
+		dataBSR := encodeOp(t, key, bsr)
+
+		if v := binary.LittleEndian.Uint16(dataBSR[4:6]); v != VersionBSR {
+			t.Fatalf("%s: blocked container has version %d, want %d", name, v, VersionBSR)
+		}
+		if got := EncodedOperatorSize(key, bsr); got != int64(len(dataBSR)) {
+			t.Fatalf("%s: EncodedOperatorSize = %d, file is %d", name, got, len(dataBSR))
+		}
+		if len(dataBSR) >= len(dataCSR) {
+			t.Fatalf("%s: blocked container (%d B) not smaller than scalar (%d B)",
+				name, len(dataBSR), len(dataCSR))
+		}
+
+		got, err := DecodeOperator(bytes.NewReader(dataBSR), int64(len(dataBSR)), key)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.BSR == nil || got.ColInd != nil {
+			t.Fatalf("%s: decode did not restore the blocked layout", name)
+		}
+		sameBlockIndex(t, got, bsr)
+
+		path := filepath.Join(t.TempDir(), "op.art")
+		if err := os.WriteFile(path, dataBSR, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mop, viaMap, err := MapOperator(path, key)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mmapSupported && hostLittleEndian && !viaMap {
+			t.Errorf("%s: mmap supported but MapOperator fell back", name)
+		}
+		if mop.BSR == nil || mop.ColInd != nil {
+			t.Fatalf("%s: mapped operator lost the blocked layout", name)
+		}
+		sameBlockIndex(t, mop, bsr)
+
+		// Apply bitwise identity: CSR original vs decoded-BSR vs mapped-BSR.
+		rng := rand.New(rand.NewSource(11))
+		coeffs := make([]float64, csr.Cols)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		want := make([]float64, csr.Rows)
+		if err := csr.ApplyVec(coeffs, want, 1); err != nil {
+			t.Fatal(err)
+		}
+		for leg, o := range map[string]*operator.Operator{"decoded": got, "mapped": mop} {
+			out := make([]float64, csr.Rows)
+			if err := o.ApplyVec(coeffs, out, 2); err != nil {
+				t.Fatal(err)
+			}
+			for r := range want {
+				if math.Float64bits(out[r]) != math.Float64bits(want[r]) {
+					t.Fatalf("%s/%s row %d: %x vs %x", name, leg, r,
+						math.Float64bits(out[r]), math.Float64bits(want[r]))
+				}
+			}
+		}
+		if m, ok := mop.Backing.(*Mapping); ok {
+			_ = m.Close()
+		}
+	}
+}
+
+func sameBlockIndex(t *testing.T, got, want *operator.Operator) {
+	t.Helper()
+	if len(got.BSR.BlockID) != len(want.BSR.BlockID) ||
+		len(got.BSR.TplBlockDelta) != len(want.BSR.TplBlockDelta) {
+		t.Fatalf("block index lengths (%d, %d), want (%d, %d)",
+			len(got.BSR.BlockID), len(got.BSR.TplBlockDelta),
+			len(want.BSR.BlockID), len(want.BSR.TplBlockDelta))
+	}
+	for i := range want.BSR.BlockID {
+		if got.BSR.BlockID[i] != want.BSR.BlockID[i] {
+			t.Fatalf("blockid[%d] = %d, want %d", i, got.BSR.BlockID[i], want.BSR.BlockID[i])
+		}
+	}
+	for i := range want.BSR.TplBlockDelta {
+		if got.BSR.TplBlockDelta[i] != want.BSR.TplBlockDelta[i] {
+			t.Fatalf("tplblockdelta[%d] = %d, want %d", i, got.BSR.TplBlockDelta[i], want.BSR.TplBlockDelta[i])
+		}
+	}
+}
+
+// An out-of-range element id in the blocked index is corruption: the v3
+// decoders must reject it (ValidateBSR), never hand back an operator whose
+// apply would index outside the coefficient vector.
+func TestBSRDecodeRejectsBadBlockID(t *testing.T) {
+	plain, _ := congruentOperator(t, 100, 40, 3)
+	bsr := plain.ToBSR()
+	broken := *bsr
+	bi := *bsr.BSR
+	bi.BlockID = append([]int32(nil), bsr.BSR.BlockID...)
+	bi.BlockID[0] = int32(bsr.Cols) // element id far past Cols/basisN
+	broken.BSR = &bi
+	data := encodeOp(t, "op:k", &broken)
+	if _, err := DecodeOperator(bytes.NewReader(data), int64(len(data)), "op:k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decode err = %v, want ErrCorrupt", err)
+	}
+	path := filepath.Join(t.TempDir(), "op.art")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MapOperator(path, "op:k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("map err = %v, want ErrCorrupt", err)
+	}
+}
+
+// A v3 container carrying a scalar column-index section is structurally
+// contradictory and must be rejected, not silently preferred either way.
+func TestBSRRejectsScalarColumnSection(t *testing.T) {
+	plain, _ := congruentOperator(t, 100, 40, 3)
+	bsr := plain.ToBSR()
+	key := "op:k"
+	data := encodeOp(t, key, bsr)
+	c, err := Parse(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, s := range c.Sections {
+		if s.Type == SecBlockID {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no BlockID section in a v3 container")
+	}
+	// Retype the blocked index as the scalar section: the payload bytes and
+	// CRC still match, so only the v3 structural check can catch it.
+	bad := bytes.Clone(data)
+	binary.LittleEndian.PutUint32(bad[headerSize+idx*entrySize:], SecColInd)
+	if _, err := DecodeOperator(bytes.NewReader(bad), int64(len(bad)), key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

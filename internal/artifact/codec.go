@@ -258,14 +258,18 @@ func (c *Container) DecodeField(key string) (FieldMeta, []float64, error) {
 const opMetaSize = 8 + 8 + 4 + 4 + 16 + 8 + 64
 
 // EncodeOperator serialises op as an operator artifact stored under key.
-// The CSR arrays are written verbatim (fixed-width little-endian), so the
-// payload can later be memory-mapped and applied with zero copies.
-// Operators carrying row-congruence templates are written as version 2
-// containers (the template sections are load-bearing); plain operators
-// stay version 1 for older readers.
+// The CSR (or BSR) arrays are written verbatim (fixed-width
+// little-endian), so the payload can later be memory-mapped and applied
+// with zero copies. The container version is the lowest that can
+// represent the operator: blocked operators are version 3 (SecBlockID
+// replaces SecColInd), operators carrying row-congruence templates are
+// version 2, and plain CSR stays version 1 for older readers.
 func EncodeOperator(w io.Writer, key string, op *operator.Operator) (int64, error) {
 	version := uint16(Version)
-	if op.Tpl != nil {
+	switch {
+	case op.BSR != nil:
+		version = VersionBSR
+	case op.Tpl != nil:
 		version = VersionTemplated
 	}
 	buf := encodeContainer(version, KindOperator, operatorSections(key, op))
@@ -285,14 +289,22 @@ func EncodedOperatorSize(key string, op *operator.Operator) int64 {
 }
 
 func operatorSectionLens(key string, op *operator.Operator) []uint64 {
+	idxLen := 4 * uint64(len(op.ColInd))
+	if op.BSR != nil {
+		idxLen = 4 * uint64(len(op.BSR.BlockID))
+	}
 	lens := []uint64{opMetaSize, uint64(len(key)),
-		8 * uint64(len(op.RowPtr)), 4 * uint64(len(op.ColInd)), 8 * uint64(len(op.Val))}
+		8 * uint64(len(op.RowPtr)), idxLen, 8 * uint64(len(op.Val))}
 	if op.Perm != nil {
 		lens = append(lens, 4*uint64(len(op.Perm)))
 	}
 	if op.Tpl != nil {
+		deltaLen := 4 * uint64(len(op.Tpl.TplDelta))
+		if op.BSR != nil {
+			deltaLen = 4 * uint64(len(op.BSR.TplBlockDelta))
+		}
 		lens = append(lens,
-			8*uint64(len(op.Tpl.TplPtr)), 4*uint64(len(op.Tpl.TplDelta)), 8*uint64(len(op.Tpl.TplVal)),
+			8*uint64(len(op.Tpl.TplPtr)), deltaLen, 8*uint64(len(op.Tpl.TplVal)),
 			4*uint64(len(op.Tpl.RowTpl)), 4*uint64(len(op.Tpl.RowBase)))
 	}
 	return lens
@@ -310,13 +322,17 @@ func operatorSections(key string, op *operator.Operator) []section {
 
 	rowptr := make([]byte, 8*len(op.RowPtr))
 	putI64s(rowptr, op.RowPtr)
-	colind := make([]byte, 4*len(op.ColInd))
-	putI32s(colind, op.ColInd)
+	idxType, idxSrc := SecColInd, op.ColInd
+	if op.BSR != nil {
+		idxType, idxSrc = SecBlockID, op.BSR.BlockID
+	}
+	colind := make([]byte, 4*len(idxSrc))
+	putI32s(colind, idxSrc)
 	secs := []section{
 		{SecMeta, meta},
 		{SecKey, []byte(key)},
 		{SecRowPtr, rowptr},
-		{SecColInd, colind},
+		{idxType, colind},
 		{SecVal, encodeF64s(op.Val)},
 	}
 	if op.Perm != nil {
@@ -327,15 +343,19 @@ func operatorSections(key string, op *operator.Operator) []section {
 	if ts := op.Tpl; ts != nil {
 		tplPtr := make([]byte, 8*len(ts.TplPtr))
 		putI64s(tplPtr, ts.TplPtr)
-		tplDelta := make([]byte, 4*len(ts.TplDelta))
-		putI32s(tplDelta, ts.TplDelta)
+		deltaType, deltaSrc := SecTplDelta, ts.TplDelta
+		if op.BSR != nil {
+			deltaType, deltaSrc = SecTplBlockDelta, op.BSR.TplBlockDelta
+		}
+		tplDelta := make([]byte, 4*len(deltaSrc))
+		putI32s(tplDelta, deltaSrc)
 		rowTpl := make([]byte, 4*len(ts.RowTpl))
 		putI32s(rowTpl, ts.RowTpl)
 		rowBase := make([]byte, 4*len(ts.RowBase))
 		putI32s(rowBase, ts.RowBase)
 		secs = append(secs,
 			section{SecTplPtr, tplPtr},
-			section{SecTplDelta, tplDelta},
+			section{deltaType, tplDelta},
 			section{SecTplVal, encodeF64s(ts.TplVal)},
 			section{SecRowTpl, rowTpl},
 			section{SecRowBase, rowBase})
@@ -390,30 +410,21 @@ func decodeOpMeta(meta []byte) (opShape, error) {
 	}, nil
 }
 
-// validateCSR checks the structural invariants ApplyVec relies on, so a
-// decoded (or mapped) operator can never index out of bounds: monotone row
-// pointers covering exactly the stored entries, column indices inside
-// [0, cols), and a permutation inside [0, rows). It is one linear pass
-// over data that is about to be hot anyway.
-func validateCSR(sh opShape, rowPtr []int64, colInd []int32, val []float64, perm []int32) error {
+// validateRowPtrPerm checks the layout-independent structural invariants:
+// monotone row pointers covering exactly the stored entries and a
+// permutation inside [0, rows). Both layouts run it; the index arrays are
+// checked per layout (validateCSR here, Operator.ValidateBSR for v3).
+func validateRowPtrPerm(sh opShape, rowPtr []int64, nnz int, perm []int32) error {
 	if len(rowPtr) != sh.rows+1 {
 		return fmt.Errorf("%w: rowptr has %d entries for %d rows", ErrCorrupt, len(rowPtr), sh.rows)
 	}
-	if len(colInd) != len(val) {
-		return fmt.Errorf("%w: %d column indices vs %d values", ErrCorrupt, len(colInd), len(val))
-	}
-	if rowPtr[0] != 0 || rowPtr[sh.rows] != int64(len(val)) {
+	if rowPtr[0] != 0 || rowPtr[sh.rows] != int64(nnz) {
 		return fmt.Errorf("%w: rowptr spans [%d, %d], want [0, %d]",
-			ErrCorrupt, rowPtr[0], rowPtr[sh.rows], len(val))
+			ErrCorrupt, rowPtr[0], rowPtr[sh.rows], nnz)
 	}
 	for r := 0; r < sh.rows; r++ {
 		if rowPtr[r+1] < rowPtr[r] {
 			return fmt.Errorf("%w: rowptr not monotone at row %d", ErrCorrupt, r)
-		}
-	}
-	for i, cix := range colInd {
-		if cix < 0 || int(cix) >= sh.cols {
-			return fmt.Errorf("%w: column index %d at entry %d outside [0, %d)", ErrCorrupt, cix, i, sh.cols)
 		}
 	}
 	if perm != nil {
@@ -429,70 +440,104 @@ func validateCSR(sh opShape, rowPtr []int64, colInd []int32, val []float64, perm
 	return nil
 }
 
-// tplSections lists the five template section types; a valid container
-// carries all of them or none.
-var tplSections = []uint32{SecTplPtr, SecTplDelta, SecTplVal, SecRowTpl, SecRowBase}
+// validateCSR checks the structural invariants ApplyVec relies on, so a
+// decoded (or mapped) operator can never index out of bounds: the shared
+// rowptr/perm invariants plus column indices inside [0, cols). It is one
+// linear pass over data that is about to be hot anyway.
+func validateCSR(sh opShape, rowPtr []int64, colInd []int32, val []float64, perm []int32) error {
+	if len(colInd) != len(val) {
+		return fmt.Errorf("%w: %d column indices vs %d values", ErrCorrupt, len(colInd), len(val))
+	}
+	if err := validateRowPtrPerm(sh, rowPtr, len(val), perm); err != nil {
+		return err
+	}
+	for i, cix := range colInd {
+		if cix < 0 || int(cix) >= sh.cols {
+			return fmt.Errorf("%w: column index %d at entry %d outside [0, %d)", ErrCorrupt, cix, i, sh.cols)
+		}
+	}
+	return nil
+}
 
-// decodeTemplates reads the optional row-congruence template sections into
-// a TemplateSet via the portable sequential path; nil when absent.
-func (c *Container) decodeTemplates() (*operator.TemplateSet, error) {
+// tplSectionTypes lists the five template section types for one layout; a
+// valid container carries all of them or none. Version 3 containers store
+// blocked element deltas in SecTplBlockDelta instead of scalar column
+// deltas in SecTplDelta.
+func tplSectionTypes(bsr bool) []uint32 {
+	if bsr {
+		return []uint32{SecTplPtr, SecTplBlockDelta, SecTplVal, SecRowTpl, SecRowBase}
+	}
+	return []uint32{SecTplPtr, SecTplDelta, SecTplVal, SecRowTpl, SecRowBase}
+}
+
+// decodeTemplates reads the optional row-congruence template sections via
+// the portable sequential path; all nil when absent. For bsr containers
+// the delta array is returned separately as the blocked element deltas
+// (the TemplateSet's TplDelta stays nil).
+func (c *Container) decodeTemplates(bsr bool) (*operator.TemplateSet, []int32, error) {
+	secs := tplSectionTypes(bsr)
 	present := 0
-	for _, typ := range tplSections {
+	for _, typ := range secs {
 		if _, ok := c.Section(typ); ok {
 			present++
 		}
 	}
 	if present == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	if present != len(tplSections) {
-		return nil, fmt.Errorf("%w: %d of %d template sections present", ErrCorrupt, present, len(tplSections))
+	if present != len(secs) {
+		return nil, nil, fmt.Errorf("%w: %d of %d template sections present", ErrCorrupt, present, len(secs))
 	}
 	read := func(typ uint32) ([]byte, error) { return c.ReadSection(typ) }
 	rawPtr, err := read(SecTplPtr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tplPtr, err := decodeI64s(rawPtr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rawDelta, err := read(SecTplDelta)
+	rawDelta, err := read(secs[1])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tplDelta, err := decodeI32s(rawDelta)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rawVal, err := read(SecTplVal)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tplVal, err := decodeF64s(rawVal)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rawRowTpl, err := read(SecRowTpl)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rowTpl, err := decodeI32s(rawRowTpl)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rawRowBase, err := read(SecRowBase)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rowBase, err := decodeI32s(rawRowBase)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &operator.TemplateSet{
-		TplPtr: tplPtr, TplDelta: tplDelta, TplVal: tplVal,
+	ts := &operator.TemplateSet{
+		TplPtr: tplPtr, TplVal: tplVal,
 		RowTpl: rowTpl, RowBase: rowBase,
-	}, nil
+	}
+	if bsr {
+		return ts, tplDelta, nil
+	}
+	ts.TplDelta = tplDelta
+	return ts, nil, nil
 }
 
 // DecodeOperator parses an operator artifact into a heap-resident
@@ -525,6 +570,7 @@ func (c *Container) DecodeOperator(key string) (*operator.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	bsr := c.Version == VersionBSR
 	rawPtr, err := c.ReadSection(SecRowPtr)
 	if err != nil {
 		return nil, err
@@ -533,13 +579,26 @@ func (c *Container) DecodeOperator(key string) (*operator.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	rawCol, err := c.ReadSection(SecColInd)
-	if err != nil {
-		return nil, err
-	}
-	colInd, err := decodeI32s(rawCol)
-	if err != nil {
-		return nil, err
+	var colInd, blockID []int32
+	if bsr {
+		if _, ok := c.Section(SecColInd); ok {
+			return nil, fmt.Errorf("%w: v3 container carries scalar column indices", ErrCorrupt)
+		}
+		rawBlk, err := c.ReadSection(SecBlockID)
+		if err != nil {
+			return nil, err
+		}
+		if blockID, err = decodeI32s(rawBlk); err != nil {
+			return nil, err
+		}
+	} else {
+		rawCol, err := c.ReadSection(SecColInd)
+		if err != nil {
+			return nil, err
+		}
+		if colInd, err = decodeI32s(rawCol); err != nil {
+			return nil, err
+		}
 	}
 	rawVal, err := c.ReadSection(SecVal)
 	if err != nil {
@@ -559,20 +618,33 @@ func (c *Container) DecodeOperator(key string) (*operator.Operator, error) {
 			return nil, err
 		}
 	}
-	if err := validateCSR(sh, rowPtr, colInd, val, perm); err != nil {
+	if bsr {
+		err = validateRowPtrPerm(sh, rowPtr, len(val), perm)
+	} else {
+		err = validateCSR(sh, rowPtr, colInd, val, perm)
+	}
+	if err != nil {
 		return nil, err
 	}
-	tpl, err := c.decodeTemplates()
+	tpl, tplBlockDelta, err := c.decodeTemplates(bsr)
 	if err != nil {
 		return nil, err
 	}
 	op := &operator.Operator{
 		Rows: sh.rows, Cols: sh.cols, BasisN: sh.basisN,
-		RowPtr: rowPtr, ColInd: colInd, Val: val, Perm: perm,
+		RowPtr: rowPtr, Val: val, Perm: perm,
 		Tpl:            tpl,
 		Workers:        sh.workers,
 		AssemblyScheme: sh.scheme,
 		AssemblyWall:   sh.wall, AssemblyCounters: sh.counters,
+	}
+	if bsr {
+		op.BSR = &operator.BSRIndex{BlockID: blockID, TplBlockDelta: tplBlockDelta}
+		if err := op.ValidateBSR(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	} else {
+		op.ColInd = colInd
 	}
 	if err := op.ValidateTemplates(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)

@@ -33,6 +33,11 @@ func FuzzArtifactDecode(f *testing.F) {
 	opNoPerm := testOperator(f, 10, 8, 3, false)
 	f.Add(encodeOp(f, "op:seed2", opNoPerm))
 
+	// Version 3 seeds: blocked index, plain and templated.
+	plainBSR, toplBSR := congruentOperator(f, 60, 20, 3)
+	f.Add(encodeOp(f, "op:bsr", plainBSR.ToBSR()))
+	f.Add(encodeOp(f, "op:bsr-tpl", toplBSR.ToBSR()))
+
 	// Structural edge cases the mutator should start from: wrong version,
 	// wrong magic, bare header, empty input.
 	v2 := encodeOp(f, "op:v2", opNoPerm)
@@ -62,7 +67,8 @@ func FuzzArtifactDecode(f *testing.F) {
 			}
 		}
 		if op, err := c.DecodeOperator(""); err == nil {
-			// Acceptance implies validateCSR passed; a cheap apply proves the
+			// Acceptance implies the layout validation passed (validateCSR
+			// for v1/v2, ValidateBSR for v3); a cheap apply proves the
 			// operator really is safe to index.
 			in := make([]float64, op.Cols)
 			out := make([]float64, op.Rows)

@@ -149,13 +149,27 @@ func mapOperator(m *Mapping, key string) (*operator.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	bsr := c.Version == VersionBSR
 	rawPtr, err := c.alignedSection(m.data, SecRowPtr, 8)
 	if err != nil {
 		return nil, err
 	}
-	rawCol, err := c.alignedSection(m.data, SecColInd, 4)
-	if err != nil {
-		return nil, err
+	var colInd, blockID []int32
+	if bsr {
+		if _, ok := c.Section(SecColInd); ok {
+			return nil, fmt.Errorf("%w: v3 container carries scalar column indices", ErrCorrupt)
+		}
+		rawBlk, err := c.alignedSection(m.data, SecBlockID, 4)
+		if err != nil {
+			return nil, err
+		}
+		blockID = castI32s(rawBlk)
+	} else {
+		rawCol, err := c.alignedSection(m.data, SecColInd, 4)
+		if err != nil {
+			return nil, err
+		}
+		colInd = castI32s(rawCol)
 	}
 	rawVal, err := c.alignedSection(m.data, SecVal, 8)
 	if err != nil {
@@ -169,22 +183,35 @@ func mapOperator(m *Mapping, key string) (*operator.Operator, error) {
 		}
 		perm = castI32s(rawPerm)
 	}
-	rowPtr, colInd, val := castI64s(rawPtr), castI32s(rawCol), castF64s(rawVal)
-	if err := validateCSR(sh, rowPtr, colInd, val, perm); err != nil {
+	rowPtr, val := castI64s(rawPtr), castF64s(rawVal)
+	if bsr {
+		err = validateRowPtrPerm(sh, rowPtr, len(val), perm)
+	} else {
+		err = validateCSR(sh, rowPtr, colInd, val, perm)
+	}
+	if err != nil {
 		return nil, err
 	}
-	tpl, err := c.mapTemplates(m.data)
+	tpl, tplBlockDelta, err := c.mapTemplates(m.data, bsr)
 	if err != nil {
 		return nil, err
 	}
 	op := &operator.Operator{
 		Rows: sh.rows, Cols: sh.cols, BasisN: sh.basisN,
-		RowPtr: rowPtr, ColInd: colInd, Val: val, Perm: perm,
+		RowPtr: rowPtr, Val: val, Perm: perm,
 		Tpl:            tpl,
 		Workers:        sh.workers,
 		AssemblyScheme: sh.scheme,
 		AssemblyWall:   sh.wall, AssemblyCounters: sh.counters,
 		Backing: m,
+	}
+	if bsr {
+		op.BSR = &operator.BSRIndex{BlockID: blockID, TplBlockDelta: tplBlockDelta}
+		if err := op.ValidateBSR(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	} else {
+		op.ColInd = colInd
 	}
 	if err := op.ValidateTemplates(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -193,44 +220,51 @@ func mapOperator(m *Mapping, key string) (*operator.Operator, error) {
 }
 
 // mapTemplates aliases the optional template sections out of the mapping,
-// mirroring decodeTemplates for the zero-copy path.
-func (c *Container) mapTemplates(data []byte) (*operator.TemplateSet, error) {
+// mirroring decodeTemplates for the zero-copy path. For bsr containers the
+// aliased delta array is the blocked element deltas, returned separately.
+func (c *Container) mapTemplates(data []byte, bsr bool) (*operator.TemplateSet, []int32, error) {
+	secs := tplSectionTypes(bsr)
 	present := 0
-	for _, typ := range tplSections {
+	for _, typ := range secs {
 		if _, ok := c.Section(typ); ok {
 			present++
 		}
 	}
 	if present == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	if present != len(tplSections) {
-		return nil, fmt.Errorf("%w: %d of %d template sections present", ErrCorrupt, present, len(tplSections))
+	if present != len(secs) {
+		return nil, nil, fmt.Errorf("%w: %d of %d template sections present", ErrCorrupt, present, len(secs))
 	}
 	rawPtr, err := c.alignedSection(data, SecTplPtr, 8)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rawDelta, err := c.alignedSection(data, SecTplDelta, 4)
+	rawDelta, err := c.alignedSection(data, secs[1], 4)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rawVal, err := c.alignedSection(data, SecTplVal, 8)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rawRowTpl, err := c.alignedSection(data, SecRowTpl, 4)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rawRowBase, err := c.alignedSection(data, SecRowBase, 4)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &operator.TemplateSet{
-		TplPtr: castI64s(rawPtr), TplDelta: castI32s(rawDelta), TplVal: castF64s(rawVal),
+	ts := &operator.TemplateSet{
+		TplPtr: castI64s(rawPtr), TplVal: castF64s(rawVal),
 		RowTpl: castI32s(rawRowTpl), RowBase: castI32s(rawRowBase),
-	}, nil
+	}
+	if bsr {
+		return ts, castI32s(rawDelta), nil
+	}
+	ts.TplDelta = castI32s(rawDelta)
+	return ts, nil, nil
 }
 
 // LoadOperatorFile reads the operator artifact at path into heap-resident

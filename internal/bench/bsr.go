@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+
+	"unstencil/internal/core"
+	"unstencil/internal/dg"
+	"unstencil/internal/mesh"
+	"unstencil/internal/operator"
+)
+
+// BSRConfig parameterises the block-sparse layout sweep cmd/unstencil-bench
+// runs with -bsr and CI records as BENCH_PR10.json. The sweep answers the
+// two questions the blocked layout exists for: how much apply throughput
+// does collapsing the scalar column index to one block id per element
+// block buy (less index traffic per value in the memory-bound regime), and
+// how much smaller is the resident operator.
+type BSRConfig struct {
+	// Size is the structured-mesh resolution (Size×Size quads, two
+	// triangles each); 16 gives a ~79 MB P2 operator, far out of
+	// last-level cache, so the sweep measures the streaming regime the
+	// layout targets.
+	Size int
+	// Orders are the dG polynomial orders swept.
+	Orders []int
+	// Fields are the apply batch widths swept: 1 exercises the blocked
+	// SpMV, >1 the blocked SpMM tiles.
+	Fields []int
+	// Workers bounds apply concurrency; 0 follows GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DefaultBSRConfig matches the SpMM sweep's mesh so the two trajectories
+// describe the same operators.
+func DefaultBSRConfig() BSRConfig {
+	return BSRConfig{Size: 16, Orders: []int{1, 2}, Fields: []int{1, 8}}
+}
+
+// EffectiveWorkers resolves the configured worker count against GOMAXPROCS.
+func (c BSRConfig) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BSRShape is one order's operator, sized in both layouts.
+type BSRShape struct {
+	P      int `json:"p"`
+	Rows   int `json:"rows"`
+	Cols   int `json:"cols"`
+	NNZ    int `json:"nnz"`
+	BasisN int `json:"basis_n"`
+	// BytesCSR and BytesBSR are the resident operator sizes per layout;
+	// IndexBytesSaved is their index-array difference (the value arrays are
+	// shared verbatim, so it is also the total difference).
+	BytesCSR        int64 `json:"bytes_csr"`
+	BytesBSR        int64 `json:"bytes_bsr"`
+	IndexBytesSaved int64 `json:"index_bytes_saved"`
+}
+
+// BSRResult is one (order, batch width, template form) measurement.
+type BSRResult struct {
+	P         int  `json:"p"`
+	Fields    int  `json:"fields"`
+	Templated bool `json:"templated"`
+
+	// NsCSR and NsBSR are one full apply over all Fields fields in each
+	// layout (ApplyVec at width 1, ApplyBlock above); Speedup is their
+	// ratio.
+	NsCSR   float64 `json:"csr_ns_per_op"`
+	NsBSR   float64 `json:"bsr_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+
+	// MaxDiff is the worst |BSR − CSR| disagreement on the exact bit
+	// patterns: the blocked kernels promise bit identity, so anything other
+	// than 0 is a defect the trajectory file records.
+	MaxDiff float64 `json:"max_diff"`
+}
+
+// BSRReport is the BENCH_PR10.json document.
+type BSRReport struct {
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Config     BSRConfig   `json:"config"`
+	Shapes     []BSRShape  `json:"shapes"`
+	Results    []BSRResult `json:"results"`
+}
+
+// RunBSR executes the sweep.
+func RunBSR(cfg BSRConfig) (*BSRReport, error) {
+	if cfg.Size <= 0 {
+		cfg = DefaultBSRConfig()
+	}
+	rep := &BSRReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Config:     cfg,
+	}
+	m := mesh.Structured(cfg.Size)
+	workers := cfg.EffectiveWorkers()
+	for _, p := range cfg.Orders {
+		f := dg.Project(m, p, testField, 2)
+		ev, err := core.NewEvaluator(f, core.Options{P: p, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		csr, err := ev.AssembleOperator(core.AssembleOpts{Layout: operator.LayoutCSR})
+		if err != nil {
+			return nil, err
+		}
+		bsr := csr.ToBSR()
+		if bsr.BSR == nil {
+			return nil, fmt.Errorf("p=%d: structured mesh %d did not convert to BSR", p, cfg.Size)
+		}
+		rep.Shapes = append(rep.Shapes, BSRShape{
+			P: p, Rows: csr.Rows, Cols: csr.Cols, NNZ: csr.NNZ(), BasisN: csr.BasisN,
+			BytesCSR: csr.Bytes(), BytesBSR: bsr.Bytes(), IndexBytesSaved: bsr.IndexBytesSaved(),
+		})
+
+		// The templated pair measures the layout composed with PR 9's row
+		// templates — the form the server actually serves.
+		csrTpl := csr.Templatize()
+		bsrTpl := csrTpl.ToBSR()
+
+		maxF := 0
+		for _, nf := range cfg.Fields {
+			maxF = max(maxF, nf)
+		}
+		coeffs := syntheticFields(ev.Field.Coeffs, maxF)
+		for _, nf := range cfg.Fields {
+			for _, variant := range []struct {
+				csr, bsr  *operator.Operator
+				templated bool
+			}{{csr, bsr, false}, {csrTpl, bsrTpl, true}} {
+				if variant.templated && variant.bsr.BSR == nil {
+					continue // nothing templatized at this order
+				}
+				res := BSRResult{P: p, Fields: nf, Templated: variant.templated}
+				want, got, err := applyBoth(variant.csr, variant.bsr, coeffs[:nf], workers)
+				if err != nil {
+					return nil, err
+				}
+				res.MaxDiff = maxBitDiff(want, got)
+				res.NsCSR = benchNs(func() { mustApply(variant.csr, coeffs[:nf], want, workers) })
+				res.NsBSR = benchNs(func() { mustApply(variant.bsr, coeffs[:nf], got, workers) })
+				if res.NsBSR > 0 {
+					res.Speedup = res.NsCSR / res.NsBSR
+				}
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// applyBoth runs one apply in each layout and returns both output sets.
+func applyBoth(csr, bsr *operator.Operator, coeffs [][]float64, workers int) (want, got [][]float64, err error) {
+	want = make([][]float64, len(coeffs))
+	got = make([][]float64, len(coeffs))
+	for i := range coeffs {
+		want[i] = make([]float64, csr.Rows)
+		got[i] = make([]float64, bsr.Rows)
+	}
+	if err := mustApplyErr(csr, coeffs, want, workers); err != nil {
+		return nil, nil, err
+	}
+	if err := mustApplyErr(bsr, coeffs, got, workers); err != nil {
+		return nil, nil, err
+	}
+	return want, got, nil
+}
+
+func mustApplyErr(op *operator.Operator, coeffs, outs [][]float64, workers int) error {
+	if len(coeffs) == 1 {
+		return op.ApplyVec(coeffs[0], outs[0], workers)
+	}
+	return op.ApplyBlock(coeffs, outs, workers)
+}
+
+func mustApply(op *operator.Operator, coeffs, outs [][]float64, workers int) {
+	if err := mustApplyErr(op, coeffs, outs, workers); err != nil {
+		panic(err)
+	}
+}
+
+// maxBitDiff reports the worst absolute disagreement between bitwise
+// unequal entries (0 when every bit pattern matches).
+func maxBitDiff(want, got [][]float64) float64 {
+	var maxDiff float64
+	for i := range want {
+		for j := range want[i] {
+			if math.Float64bits(want[i][j]) != math.Float64bits(got[i][j]) {
+				if d := math.Abs(want[i][j] - got[i][j]); d > maxDiff {
+					maxDiff = d
+				}
+				if maxDiff == 0 { // differing bits of equal value (±0)
+					maxDiff = math.SmallestNonzeroFloat64
+				}
+			}
+		}
+	}
+	return maxDiff
+}
+
+// Fprint renders the sweep as a table.
+func (rep *BSRReport) Fprint(w *os.File) {
+	for _, s := range rep.Shapes {
+		fmt.Fprintf(w, "P%d: %d rows, %d nnz, basis %d, %d B csr -> %d B bsr (%d B index saved)\n",
+			s.P, s.Rows, s.NNZ, s.BasisN, s.BytesCSR, s.BytesBSR, s.IndexBytesSaved)
+	}
+	fmt.Fprintf(w, "%-4s %7s %10s %14s %14s %9s %10s\n",
+		"P", "fields", "form", "csr ns/op", "bsr ns/op", "speedup", "max diff")
+	for _, r := range rep.Results {
+		form := "plain"
+		if r.Templated {
+			form = "templated"
+		}
+		fmt.Fprintf(w, "P%-3d %7d %10s %14.0f %14.0f %8.2fx %10.2e\n",
+			r.P, r.Fields, form, r.NsCSR, r.NsBSR, r.Speedup, r.MaxDiff)
+	}
+}
+
+// Markdown renders the sweep as the README's blocked-layout table.
+func (rep *BSRReport) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| P | fields | form | CSR | BSR | speedup | max diff |\n")
+	b.WriteString("|---|--------|------|-----|-----|---------|----------|\n")
+	for _, r := range rep.Results {
+		form := "plain"
+		if r.Templated {
+			form = "templated"
+		}
+		fmt.Fprintf(&b, "| %d | %d | %s | %.1f ms | %.1f ms | **%.2fx** | %.0e |\n",
+			r.P, r.Fields, form, r.NsCSR/1e6, r.NsBSR/1e6, r.Speedup, r.MaxDiff)
+	}
+	return b.String()
+}
+
+// Save writes the report as stable, indented JSON.
+func (rep *BSRReport) Save(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GHA flattens the sweep into github-action-benchmark entries: one ns/op
+// point per (order, width, form, layout) plus the per-order resident sizes.
+func (rep *BSRReport) GHA() []GHAEntry {
+	var out []GHAEntry
+	for _, r := range rep.Results {
+		form := "plain"
+		if r.Templated {
+			form = "templated"
+		}
+		out = append(out, GHAEntry{
+			Name:  fmt.Sprintf("bsr/p%d/f%d/%s", r.P, r.Fields, form),
+			Unit:  "ns/op",
+			Value: r.NsBSR,
+			Extra: fmt.Sprintf("%.2fx vs csr %.0f ns", r.Speedup, r.NsCSR),
+		})
+	}
+	for _, s := range rep.Shapes {
+		out = append(out, GHAEntry{
+			Name:  fmt.Sprintf("bsr/p%d/resident_bytes", s.P),
+			Unit:  "bytes",
+			Value: float64(s.BytesBSR),
+			Extra: fmt.Sprintf("csr %d B, index saved %d B", s.BytesCSR, s.IndexBytesSaved),
+		})
+	}
+	return out
+}
+
+// SaveGHA writes the github-action-benchmark JSON array.
+func (rep *BSRReport) SaveGHA(path string) error {
+	data, err := json.MarshalIndent(rep.GHA(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// A reduced sweep proving the harness end to end: both layouts assemble,
+// every measurement carries a bitwise max_diff of exactly 0, and the
+// blocked layout saves index bytes at every order.
+func TestBSRSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs real benchmarks")
+	}
+	rep, err := RunBSR(BSRConfig{Size: 6, Orders: []int{1, 2}, Fields: []int{1, 4}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shapes) != 2 {
+		t.Fatalf("shapes: %+v", rep.Shapes)
+	}
+	for _, s := range rep.Shapes {
+		if s.BytesBSR >= s.BytesCSR || s.IndexBytesSaved <= 0 {
+			t.Errorf("P%d: blocked layout did not shrink (%d vs %d, saved %d)",
+				s.P, s.BytesBSR, s.BytesCSR, s.IndexBytesSaved)
+		}
+		if s.BytesCSR-s.BytesBSR != s.IndexBytesSaved {
+			t.Errorf("P%d: byte gap %d disagrees with IndexBytesSaved %d",
+				s.P, s.BytesCSR-s.BytesBSR, s.IndexBytesSaved)
+		}
+	}
+	// 2 orders × 2 widths × {plain, templated} (structured meshes templatize
+	// at both orders).
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.MaxDiff != 0 {
+			t.Errorf("P%d f%d templated=%v: max diff %g, want bitwise identity",
+				r.P, r.Fields, r.Templated, r.MaxDiff)
+		}
+		if r.NsCSR <= 0 || r.NsBSR <= 0 || r.Speedup <= 0 {
+			t.Errorf("P%d f%d: degenerate timings %+v", r.P, r.Fields, r)
+		}
+	}
+	if gha := rep.GHA(); len(gha) != len(rep.Results)+len(rep.Shapes) {
+		t.Errorf("GHA entries %d, want %d", len(gha), len(rep.Results)+len(rep.Shapes))
+	}
+	if md := rep.Markdown(); len(md) == 0 {
+		t.Error("empty markdown table")
+	}
+}

@@ -111,7 +111,9 @@ func RunSpMM(cfg SpMMConfig) (*SpMMReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		plain, err := ev.AssembleOperator(core.AssembleOpts{})
+		// The SpMM sweep contrasts plain CSR against templated CSR, so it
+		// pins the legacy layout; the BSR sweep covers the blocked kernels.
+		plain, err := ev.AssembleOperator(core.AssembleOpts{Layout: operator.LayoutCSR})
 		if err != nil {
 			return nil, err
 		}

@@ -24,7 +24,7 @@ func TestSpMMSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := ev.AssembleOperator(core.AssembleOpts{})
+	plain, err := ev.AssembleOperator(core.AssembleOpts{Layout: operator.LayoutCSR})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,17 @@ type AssembleOpts struct {
 	// rows into shared prefilter buckets; correctness never depends on the
 	// value — the fuzz tests sweep it. Negative is rejected.
 	SigQuantum float64
+	// Layout selects the frozen operator's storage layout. The zero value
+	// is operator.LayoutBSR: assembly emits element-block runs directly and
+	// the operator freezes into the blocked index (scalar CSR fallback when
+	// basisN is 1). operator.LayoutCSR forces the scalar layout.
+	Layout operator.Layout
+	// SigCache, when non-nil, caches canonical signature hashes across
+	// assemblies on the same mesh (congruence-first path only): rows whose
+	// (position, kernel class) pair was hashed by an earlier assembly skip
+	// the candidate walk and re-canonicalisation entirely. See
+	// SignatureCache for the soundness contract.
+	SigCache SignatureCache
 }
 
 // AssembleOperator builds the assembled post-processing operator for this
@@ -115,7 +126,7 @@ func (ev *Evaluator) AssembleOperator(opts AssembleOpts) (*operator.Operator, er
 	switch opts.Scheme {
 	case PerPoint:
 		if opts.Congruence == CongruenceTemplate {
-			bld, ctr, stats, err = ev.assemblePerPointCongruent(positions, perm, workers, basisN, cols, opts.SigQuantum)
+			bld, ctr, stats, err = ev.assemblePerPointCongruent(positions, perm, workers, basisN, cols, opts.SigQuantum, opts.SigCache)
 		} else {
 			bld, ctr, err = ev.assemblePerPoint(positions, perm, workers, basisN, cols)
 		}
@@ -133,7 +144,7 @@ func (ev *Evaluator) AssembleOperator(opts AssembleOpts) (*operator.Operator, er
 	if err != nil {
 		return nil, err
 	}
-	op := bld.Finish(perm, workers, opts.Scheme.String(), time.Since(start), ctr)
+	op := bld.FinishLayout(opts.Layout, perm, workers, opts.Scheme.String(), time.Since(start), ctr)
 	op.Congruence = stats
 	return op, nil
 }
@@ -198,6 +209,21 @@ func (a *rowAccum) flatten(cols []int32, vals []float64) ([]int32, []float64) {
 	return cols, vals
 }
 
+// flattenBlocks emits the accumulated row in block form — one ascending
+// element id per basisN-wide weight block, exactly the (elems, vals) pair
+// Builder.SetRowBlocks takes. The values are appended in the identical
+// order flatten would emit them, so the frozen row is the same under
+// either layout.
+func (a *rowAccum) flattenBlocks(elems []int32, vals []float64) ([]int32, []float64) {
+	elems = append(elems[:0], a.elems...)
+	sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+	vals = vals[:0]
+	for _, e := range elems {
+		vals = append(vals, a.w[int(a.idx[e])*a.basisN:(int(a.idx[e])+1)*a.basisN]...)
+	}
+	return elems, vals
+}
+
 // assemblePerPoint builds rows independently: each row enumerates its
 // candidate elements exactly as evalAt does and accumulates weights.
 // Rows are uniform units with disjoint outputs, so they are dispatched
@@ -227,8 +253,8 @@ func (ev *Evaluator) assemblePerPoint(positions []geom.Point, perm []int32, work
 			ec.set(err)
 			return false
 		}
-		s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
-		bld.SetRow(r, s.cols, s.vals)
+		s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
+		bld.SetRowBlocks(r, s.cols, s.vals)
 		return true
 	})
 	var total metrics.Counters
@@ -394,8 +420,8 @@ func (ev *Evaluator) assemblePerElement(blocks int, perm []int32, workers, basis
 					s.acc.add(e, patchW[q][sl][j*basisN:(j+1)*basisN])
 				}
 			}
-			s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
-			bld.SetRow(int(rowOf[pt]), s.cols, s.vals)
+			s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
+			bld.SetRowBlocks(int(rowOf[pt]), s.cols, s.vals)
 		}
 		return true
 	})

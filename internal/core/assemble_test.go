@@ -175,11 +175,13 @@ func TestOperatorAssemblyDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		base = base.ToCSR()
 		for _, w := range []int{2, 7} {
 			op, err := ev.AssembleOperator(AssembleOpts{Scheme: scheme, Workers: w})
 			if err != nil {
 				t.Fatal(err)
 			}
+			op = op.ToCSR()
 			if len(op.Val) != len(base.Val) {
 				t.Fatalf("%v: workers=%d nnz %d != %d", scheme, w, len(op.Val), len(base.Val))
 			}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"unstencil/internal/mesh"
+	"unstencil/internal/operator"
+)
+
+// Assembly emits the blocked layout by default — rowAccum always produces
+// full aligned element blocks — and the blocked operator is bitwise equal
+// to an explicit scalar-CSR assembly of the same evaluator, templates and
+// all, on both congruence modes.
+func TestAssembleDefaultLayoutBSR(t *testing.T) {
+	for name, m := range map[string]*mesh.Mesh{
+		"structured": mesh.Structured(6),
+		"jittered":   mesh.JitteredStructured(5, 0.2, 3),
+	} {
+		for _, cong := range []CongruenceMode{CongruenceNone, CongruenceTemplate} {
+			ev := buildEvaluator(t, m, 2, assembleTestField, Options{Boundary: Periodic, Workers: 4})
+			bsr, err := ev.AssembleOperator(AssembleOpts{Congruence: cong})
+			if err != nil {
+				t.Fatal(err)
+			}
+			csr, err := ev.AssembleOperator(AssembleOpts{Congruence: cong, Layout: operator.LayoutCSR})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := name + "/" + string(rune('0'+int(cong)))
+			if bsr.BSR == nil {
+				t.Fatalf("%s: default assembly did not emit the blocked layout", label)
+			}
+			if csr.BSR != nil {
+				t.Fatalf("%s: LayoutCSR assembly emitted a blocked index", label)
+			}
+			if bsr.Stats().Layout != "bsr" || csr.Stats().Layout != "csr" {
+				t.Fatalf("%s: stats layouts %q/%q", label, bsr.Stats().Layout, csr.Stats().Layout)
+			}
+			if bsr.IndexBytesSaved() <= 0 {
+				t.Fatalf("%s: blocked layout saved %d index bytes", label, bsr.IndexBytesSaved())
+			}
+			expectBitwiseEqual(t, label, bsr, csr)
+		}
+	}
+}
+
+// The adaptive probe commits after its first stage on a structured mesh
+// (sharing is everywhere in the sample) and never pays more than the final
+// stage on a jittered one — the escalation is what bounds the congruence
+// path's overhead on non-congruent meshes.
+func TestAdaptiveProbeStages(t *testing.T) {
+	ev := buildEvaluator(t, mesh.Structured(16), 2, assembleTestField, Options{Boundary: Periodic, Workers: 4})
+	op, err := ev.AssembleOperator(AssembleOpts{Congruence: CongruenceTemplate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := checkCongruenceStats(t, "structured", op)
+	if !cs.ProbeCongruent {
+		t.Fatalf("structured mesh probe did not detect congruence: %+v", cs)
+	}
+	if cs.ProbeRows != probeMinSample {
+		t.Errorf("structured mesh probe hashed %d rows, want early commit at %d", cs.ProbeRows, probeMinSample)
+	}
+
+	jev := buildEvaluator(t, mesh.JitteredStructured(12, 0.3, 2), 1, assembleTestField, Options{Boundary: Periodic, Workers: 4})
+	jop, err := jev.AssembleOperator(AssembleOpts{Congruence: CongruenceTemplate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcs := checkCongruenceStats(t, "jittered", jop)
+	if jcs.ProbeCongruent {
+		t.Fatalf("jittered mesh probe claimed congruence: %+v", jcs)
+	}
+	if jcs.ProbeRows < probeMinSample || jcs.ProbeRows > probeSampleRows {
+		t.Errorf("jittered mesh probe hashed %d rows, want within [%d, %d]",
+			jcs.ProbeRows, probeMinSample, probeSampleRows)
+	}
+}
+
+// memSigCache is a test double for the server's signature cache: a plain
+// locked map satisfying core.SignatureCache.
+type memSigCache struct {
+	mu sync.Mutex
+	m  map[[4]uint64][2]uint64
+}
+
+func newMemSigCache() *memSigCache {
+	return &memSigCache{m: make(map[[4]uint64][2]uint64)}
+}
+
+func (c *memSigCache) key(xb, yb uint64, kx, ky int64) [4]uint64 {
+	return [4]uint64{xb, yb, uint64(kx), uint64(ky)}
+}
+
+func (c *memSigCache) Lookup(xb, yb uint64, kx, ky int64) (uint64, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[c.key(xb, yb, kx, ky)]
+	return v[0], v[1], ok
+}
+
+func (c *memSigCache) Store(xb, yb uint64, kx, ky int64, exact, quant uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[c.key(xb, yb, kx, ky)] = [2]uint64{exact, quant}
+}
+
+// A shared signature cache removes the canonicalisation cost of repeat
+// assemblies — the second identical assembly answers every hash from the
+// cache — without perturbing a single bit of the output, including across
+// boundary variants sharing one cache (distinct kernel-class keys keep
+// their entries apart).
+func TestSignatureCacheSharing(t *testing.T) {
+	m := mesh.Structured(8)
+	cache := newMemSigCache()
+	for _, boundary := range []Boundary{Periodic, OneSided} {
+		ev := buildEvaluator(t, m, 2, assembleTestField, Options{Boundary: boundary, Workers: 4})
+		naive, err := ev.AssembleOperator(AssembleOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := boundaryLabel(boundary)
+		first, err := ev.AssembleOperator(AssembleOpts{Congruence: CongruenceTemplate, SigCache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := checkCongruenceStats(t, label+"/cold", first)
+		if cs.SigCacheLookups == 0 {
+			t.Fatalf("%s: assembly with a cache recorded no lookups", label)
+		}
+		expectBitwiseEqual(t, label+"/cold", first, naive)
+
+		second, err := ev.AssembleOperator(AssembleOpts{Congruence: CongruenceTemplate, SigCache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcs := checkCongruenceStats(t, label+"/warm", second)
+		if wcs.SigCacheHits != wcs.SigCacheLookups {
+			t.Errorf("%s: warm assembly hit %d of %d lookups, want all",
+				label, wcs.SigCacheHits, wcs.SigCacheLookups)
+		}
+		if wcs.SigCacheHits == 0 {
+			t.Errorf("%s: warm assembly recorded no cache hits", label)
+		}
+		expectBitwiseEqual(t, label+"/warm", second, naive)
+	}
+}
+
+// A cache poisoned with colliding hashes must never corrupt the output:
+// wrong hash pairs can only misgroup rows, and the bitwise certification
+// tier demotes every bad grouping.
+func TestSignatureCachePoisonedStaysBitwise(t *testing.T) {
+	m := mesh.JitteredStructured(5, 0.25, 9)
+	ev := buildEvaluator(t, m, 2, assembleTestField, Options{Boundary: Periodic, Workers: 4})
+	naive, err := ev.AssembleOperator(AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := &poisonSigCache{}
+	cong, err := ev.AssembleOperator(AssembleOpts{Congruence: CongruenceTemplate, SigCache: poisoned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectBitwiseEqual(t, "poisoned-cache", cong, naive)
+}
+
+// poisonSigCache answers every lookup with the same colliding hash pair —
+// the worst possible cache.
+type poisonSigCache struct{}
+
+func (poisonSigCache) Lookup(_, _ uint64, _, _ int64) (uint64, uint64, bool) {
+	return 0xdeadbeef, 0xdeadbeef, true
+}
+
+func (poisonSigCache) Store(_, _ uint64, _, _ int64, _, _ uint64) {}

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"slices"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"unstencil/internal/geom"
@@ -114,26 +116,26 @@ type sigEntry struct {
 
 // Per-member outcomes of class resolution.
 const (
-	memberStampedTpl   uint8 = iota + 1 // exact match, uniform id shift: templated, no quadrature
-	memberStampedPlain                  // exact match, wrapped ids: plain stamped row, no quadrature
-	memberVerifiedTpl                   // integrated, bitwise equal to the stamp, uniform shift
-	memberVerifiedPlain                 // integrated, bitwise equal to the stamp, wrapped ids
-	memberDemoted                       // integrated, kept its own weights as a plain row
+	memberStampedTpl    uint8 = iota + 1 // exact match, uniform id shift: templated, no quadrature
+	memberStampedPlain                   // exact match, wrapped ids: plain stamped row, no quadrature
+	memberVerifiedTpl                    // integrated, bitwise equal to the stamp, uniform shift
+	memberVerifiedPlain                  // integrated, bitwise equal to the stamp, wrapped ids
+	memberDemoted                        // integrated, kept its own weights as a plain row
 )
 
 // congClass is one prefilter bucket: rows sharing the quantised signature
 // hash, resolved against members[0] (the representative).
 type congClass struct {
-	members []int32    // ascending storage rows
-	n       int        // candidate entry count
-	kx, ky  int64      // representative's kernel class keys
-	sig     []sigEntry // canonical signature (full-precision bits)
-	repIDs  []int32    // label → representative element id
-	slotLab []int32    // contributing slot → label (slots = len(repCols)/basisN)
-	repCols []int32
-	repVals []float64
-	status  []uint8 // per member (status[0] unused — the representative)
-	shiftD  []int32 // per templated member: uniform element id shift vs the representative
+	members  []int32    // ascending storage rows
+	n        int        // candidate entry count
+	kx, ky   int64      // representative's kernel class keys
+	sig      []sigEntry // canonical signature (full-precision bits)
+	repIDs   []int32    // label → representative element id
+	slotLab  []int32    // contributing slot → label (slots = len(repElems))
+	repElems []int32    // representative row in block form: ascending element ids
+	repVals  []float64  // slot-major weight blocks (len = slots·basisN)
+	status   []uint8    // per member (status[0] unused — the representative)
+	shiftD   []int32    // per templated member: uniform element id shift vs the representative
 }
 
 // kernelClass returns the quantised one-sided shift keys identifying the
@@ -167,16 +169,58 @@ func (ev *Evaluator) oneSidedKey(x float64) int64 {
 
 const fnvOffset64, fnvPrime64 = 14695981039346656037, 1099511628211
 
-// probeSampleRows is how many strided rows the congruence probe hashes
-// before committing to the full signature pass; probeMinShareInv is the
-// proceed threshold — at least 1/probeMinShareInv of the sample must share
-// a quantised signature with another sampled row, else the mesh is treated
-// as non-congruent and assembly falls back to the naive schedule. The probe
-// only gates *cost*: both outcomes produce the bitwise-identical operator.
+// The congruence probe hashes a small low-discrepancy sample of rows
+// before committing to the full signature pass, escalating through
+// probeStages until the observed sharing rate decides the schedule:
+// at least 1/probeMinShareInv of the sampled rows must share a quantised
+// signature with another sampled row to proceed (checked after every
+// stage, so heavily congruent meshes commit at probeMinSample rows), and
+// a stage with *zero* sharing bails to the naive schedule immediately —
+// on jittered and unstructured meshes every sampled row is a singleton,
+// so the fallback decision costs probeMinSample hashes instead of the
+// full probeSampleRows. The probe only gates *cost*: both outcomes
+// produce the bitwise-identical operator.
 const (
-	probeSampleRows  = 256
+	probeSampleRows  = 256 // final escalation stage
+	probeMinSample   = 64  // first stage: smallest decisive sample
 	probeMinShareInv = 8
 )
+
+// probeStages are the cumulative sample sizes the adaptive probe
+// escalates through.
+var probeStages = [...]int{probeMinSample, 2 * probeMinSample, probeSampleRows}
+
+// probeRowAt maps probe sample index i to a storage row of an n-row
+// operator via the bit-reversal (van der Corput) enumeration of
+// [0, probeSampleRows): every prefix of the sequence is a near-uniform
+// low-discrepancy sample of the rows, so escalating a stage extends the
+// rows already hashed instead of resampling from scratch.
+func probeRowAt(i, n int) int {
+	return int(bits.Reverse8(uint8(i))) * n / probeSampleRows
+}
+
+// SignatureCache caches canonical signature hashes across operator
+// assemblies, keyed by the row's position bit patterns and kernel-class
+// keys. The congruence prefilter's hash for a row is a pure function of
+// (mesh geometry, position, kernel class, h, quantisation step): rows
+// sharing all five walk identical candidate enumerations and canonicalise
+// to identical signatures. A cache must therefore be scoped to one
+// (mesh, kernel order, h, quantum) tuple by its owner; the key carries
+// the rest. Across boundary-condition variants on that tuple the scoping
+// is still sound: a row whose kernel class keys are (0,0) under a
+// one-sided boundary has its support strictly inside the domain — so the
+// periodic variant of the same row walks the identical candidates — and
+// every near-boundary row differs in (kx, ky) between variants, giving
+// it distinct cache keys. A stale or colliding entry can only misgroup
+// rows, never corrupt weights: stamping is gated by exact certification
+// downstream, so cache bugs degrade speed, not output.
+//
+// Implementations must be safe for concurrent use; assembly calls Lookup
+// and Store from many workers.
+type SignatureCache interface {
+	Lookup(xb, yb uint64, kx, ky int64) (exact, quant uint64, ok bool)
+	Store(xb, yb uint64, kx, ky int64, exact, quant uint64)
+}
 
 // collectSignature walks the row's candidate enumeration and appends one
 // entry per (image, element) pair: the *element id* temporarily parked in
@@ -314,10 +358,11 @@ func (ev *Evaluator) materializeSignature(pos geom.Point, wk *worker, cls *congC
 
 // buildStamp writes the member row implied by mapping each contributing
 // slot of the representative through label → member element id, into the
-// provided scratch (returned grown). Slots are re-sorted by the member's
-// element ids so the row is ascending CSR exactly as flatten would emit
-// it; ord is slot-index scratch.
-func buildStamp(cls *congClass, memIDs []int32, basisN int, ord []int32, cols []int32, vals []float64) ([]int32, []int32, []float64) {
+// provided scratch (returned grown), in block form: one element id per
+// basisN-wide weight block, exactly what SetRowBlocks takes. Slots are
+// re-sorted by the member's element ids so the row is ascending exactly
+// as flattenBlocks would emit it; ord is slot-index scratch.
+func buildStamp(cls *congClass, memIDs []int32, basisN int, ord []int32, elems []int32, vals []float64) ([]int32, []int32, []float64) {
 	slots := len(cls.slotLab)
 	ord = ord[:0]
 	for s := 0; s < slots; s++ {
@@ -326,39 +371,43 @@ func buildStamp(cls *congClass, memIDs []int32, basisN int, ord []int32, cols []
 	sort.Slice(ord, func(i, j int) bool {
 		return memIDs[cls.slotLab[ord[i]]] < memIDs[cls.slotLab[ord[j]]]
 	})
-	cols, vals = cols[:0], vals[:0]
+	elems, vals = elems[:0], vals[:0]
 	for _, s := range ord {
-		e := memIDs[cls.slotLab[s]]
-		for m := 0; m < basisN; m++ {
-			cols = append(cols, e*int32(basisN)+int32(m))
-			vals = append(vals, cls.repVals[int(s)*basisN+m])
-		}
+		elems = append(elems, memIDs[cls.slotLab[s]])
+		vals = append(vals, cls.repVals[int(s)*basisN:(int(s)+1)*basisN]...)
 	}
-	return ord, cols, vals
+	return ord, elems, vals
 }
 
 // uniformShift reports whether the member's slot mapping is one constant
 // element id shift vs the representative — the case a PR 8 template row
 // can express (shared deltas, base column shifted by d·basisN).
-func uniformShift(cls *congClass, memIDs []int32, basisN int) (int32, bool) {
+func uniformShift(cls *congClass, memIDs []int32) (int32, bool) {
 	if len(cls.slotLab) == 0 {
 		return 0, true
 	}
-	d := memIDs[cls.slotLab[0]] - cls.repCols[0]/int32(basisN)
+	d := memIDs[cls.slotLab[0]] - cls.repElems[0]
 	for s, lab := range cls.slotLab {
-		if memIDs[lab]-cls.repCols[s*basisN]/int32(basisN) != d {
+		if memIDs[lab]-cls.repElems[s] != d {
 			return 0, false
 		}
 	}
 	return d, true
 }
 
-func rowsEqualBits(cols []int32, vals []float64, cols2 []int32, vals2 []float64) bool {
-	if len(cols) != len(cols2) {
+// rowsEqualBits compares two block-form rows: identical element ids and
+// bitwise identical weight blocks.
+func rowsEqualBits(elems []int32, vals []float64, elems2 []int32, vals2 []float64) bool {
+	if len(elems) != len(elems2) || len(vals) != len(vals2) {
 		return false
 	}
-	for i := range cols {
-		if cols[i] != cols2[i] || math.Float64bits(vals[i]) != math.Float64bits(vals2[i]) {
+	for i := range elems {
+		if elems[i] != elems2[i] {
+			return false
+		}
+	}
+	for i := range vals {
+		if math.Float64bits(vals[i]) != math.Float64bits(vals2[i]) {
 			return false
 		}
 	}
@@ -371,7 +420,7 @@ func rowsEqualBits(cols []int32, vals []float64, cols2 []int32, vals2 []float64)
 // result is bitwise identical to assemblePerPoint for every mesh and every
 // worker count; on meshes where rows repeat (structured grids, wrapped or
 // not) most rows never run quadrature.
-func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []int32, workers, basisN, cols int, quantum float64) (*operator.Builder, metrics.Counters, *operator.CongruenceStats, error) {
+func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []int32, workers, basisN, cols int, quantum float64, cache SignatureCache) (*operator.Builder, metrics.Counters, *operator.CongruenceStats, error) {
 	if quantum < 0 {
 		return nil, metrics.Counters{}, nil, fmt.Errorf("core: signature quantum must be >= 0, got %g", quantum)
 	}
@@ -411,52 +460,93 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 		scr[i].labs = make(map[int32]int32)
 	}
 	var ec errCollector
+	var cacheLookups, cacheHits atomic.Int64
+
+	// hashRow computes one row's (exact, quantised) signature hashes,
+	// consulting the cross-assembly cache first: the hash pair is a pure
+	// function of the cache key on a fixed (mesh, kernel order, h, quantum)
+	// tuple (see SignatureCache), so a hit skips the candidate walk and
+	// canonicalisation — the entire per-row cost of the prefilter.
+	hashRow := func(w int, pos geom.Point) (exact, quant uint64, err error) {
+		kx, ky := ev.kernelClass(pos)
+		xb, yb := math.Float64bits(pos.X), math.Float64bits(pos.Y)
+		if cache != nil {
+			cacheLookups.Add(1)
+			if he, hq, ok := cache.Lookup(xb, yb, kx, ky); ok {
+				cacheHits.Add(1)
+				return he, hq, nil
+			}
+		}
+		s := &scr[w]
+		sig, err := ev.collectSignature(pos, wks[w], s.sig, invQ)
+		if err != nil {
+			s.sig = sig
+			return 0, 0, err
+		}
+		sig, s.ids = canonicalizeSignature(sig, s.ids, s.labs)
+		s.sig = sig
+		he, hq := signatureHashes(kx, ky, sig)
+		if cache != nil {
+			cache.Store(xb, yb, kx, ky, he, hq)
+		}
+		return he, hq, nil
+	}
 
 	// Congruence probe: on meshes with no repeated rows (jittered,
 	// unstructured) the full signature pass is pure overhead, so before
-	// paying it, hash a strided sample and look for repeated quantised
-	// signatures (exact equality implies quantised equality, so one count
-	// covers both tiers). A sample that is almost all singletons means the
-	// class machinery cannot win: fall back to the naive parallel schedule
-	// and the congruence path costs only the probe — the graceful-
-	// degradation bound on non-congruent meshes. Operators small enough
-	// that the sample would be most of the rows skip the probe and keep
-	// the full prefilter (which then *is* the probe).
+	// paying it, hash a low-discrepancy sample and look for repeated
+	// quantised signatures (exact equality implies quantised equality, so
+	// one count covers both tiers). The sample escalates adaptively: each
+	// stage's rows extend the previous stage's (bit-reversal ordering), a
+	// sharing rate already past the proceed threshold commits early, and a
+	// stage with zero sharing bails to the naive schedule at once — a
+	// jittered mesh pays probeMinSample hashes, not probeSampleRows. A
+	// sample that stays almost all singletons means the class machinery
+	// cannot win: fall back to the naive parallel schedule and the
+	// congruence path costs only the probe — the graceful-degradation
+	// bound on non-congruent meshes. Operators small enough that the
+	// sample would be most of the rows skip the probe and keep the full
+	// prefilter (which then *is* the probe).
 	sigStart := time.Now()
 	if n > 2*probeSampleRows {
-		sample := probeSampleRows
-		probeHash := make([]uint64, sample)
-		runDynamic(min(dispatch, sample), sample, func(w, i int) bool {
-			s := &scr[w]
-			pos := rowPos(i * n / sample)
-			kx, ky := ev.kernelClass(pos)
-			sig, err := ev.collectSignature(pos, wks[w], s.sig, invQ)
-			if err != nil {
-				s.sig = sig
-				ec.set(err)
-				return false
+		probeHash := make([]uint64, 0, probeSampleRows)
+		counts := make(map[uint64]int, probeSampleRows)
+		congruent := false
+		for _, stage := range probeStages {
+			lo := len(probeHash)
+			probeHash = probeHash[:stage]
+			runDynamic(min(dispatch, stage-lo), stage-lo, func(w, i int) bool {
+				_, hq, err := hashRow(w, rowPos(probeRowAt(lo+i, n)))
+				if err != nil {
+					ec.set(err)
+					return false
+				}
+				probeHash[lo+i] = hq
+				return true
+			})
+			if ec.err != nil {
+				ev.putWorkers(wks)
+				return nil, metrics.Counters{}, nil, ec.err
 			}
-			sig, s.ids = canonicalizeSignature(sig, s.ids, s.labs)
-			s.sig = sig
-			_, probeHash[i] = signatureHashes(kx, ky, sig)
-			return true
-		})
-		if ec.err != nil {
-			ev.putWorkers(wks)
-			return nil, metrics.Counters{}, nil, ec.err
-		}
-		counts := make(map[uint64]int, sample)
-		for _, h := range probeHash {
-			counts[h]++
-		}
-		shared := 0
-		for _, h := range probeHash {
-			if counts[h] >= 2 {
-				shared++
+			for _, h := range probeHash[lo:] {
+				counts[h]++
+			}
+			shared := 0
+			for _, h := range probeHash {
+				if counts[h] >= 2 {
+					shared++
+				}
+			}
+			if shared*probeMinShareInv >= stage {
+				congruent = true
+				break
+			}
+			if shared == 0 {
+				break
 			}
 		}
-		stats.ProbeRows = sample
-		if shared*probeMinShareInv < sample {
+		stats.ProbeRows = len(probeHash)
+		if !congruent {
 			stats.SignatureWall = time.Since(sigStart)
 			runDynamic(min(dispatch, n), n, func(w, r int) bool {
 				wk, s := wks[w], &scr[w]
@@ -464,8 +554,8 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 					ec.set(err)
 					return false
 				}
-				s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
-				bld.SetRow(r, s.cols, s.vals)
+				s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
+				bld.SetRowBlocks(r, s.cols, s.vals)
 				return true
 			})
 			var total metrics.Counters
@@ -477,6 +567,8 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 				return nil, total, nil, ec.err
 			}
 			stats.RowsIntegrated = n
+			stats.SigCacheLookups = cacheLookups.Load()
+			stats.SigCacheHits = cacheHits.Load()
 			return bld, total, stats, nil
 		}
 	}
@@ -495,18 +587,12 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 	exactHashes := make([]uint64, n)
 	quantHashes := make([]uint64, n)
 	runDynamic(min(dispatch, n), n, func(w, r int) bool {
-		s := &scr[w]
-		pos := rowPos(r)
-		kx, ky := ev.kernelClass(pos)
-		sig, err := ev.collectSignature(pos, wks[w], s.sig, invQ)
+		he, hq, err := hashRow(w, rowPos(r))
 		if err != nil {
-			s.sig = sig
 			ec.set(err)
 			return false
 		}
-		sig, s.ids = canonicalizeSignature(sig, s.ids, s.labs)
-		s.sig = sig
-		exactHashes[r], quantHashes[r] = signatureHashes(kx, ky, sig)
+		exactHashes[r], quantHashes[r] = he, hq
 		return true
 	})
 	if ec.err != nil {
@@ -572,13 +658,13 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 			ec.set(err)
 			return false
 		}
-		s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
-		cls.repCols = append([]int32(nil), s.cols...)
+		s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
+		cls.repElems = append([]int32(nil), s.cols...)
 		cls.repVals = append([]float64(nil), s.vals...)
 		// s.labs still holds the representative's id → label table.
-		cls.slotLab = make([]int32, len(cls.repCols)/basisN)
+		cls.slotLab = make([]int32, len(cls.repElems))
 		for slot := range cls.slotLab {
-			cls.slotLab[slot] = s.labs[cls.repCols[slot*basisN]/int32(basisN)]
+			cls.slotLab[slot] = s.labs[cls.repElems[slot]]
 		}
 		return true
 	})
@@ -618,12 +704,12 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 					return false
 				}
 				if exact {
-					if d, ok := uniformShift(cls, ids, basisN); ok {
+					if d, ok := uniformShift(cls, ids); ok {
 						cls.status[i], cls.shiftD[i] = memberStampedTpl, d
 						continue
 					}
 					s.ord, s.scols, s.svals = buildStamp(cls, ids, basisN, s.ord, s.scols, s.svals)
-					bld.SetRow(r, s.scols, s.svals)
+					bld.SetRowBlocks(r, s.scols, s.svals)
 					cls.status[i] = memberStampedPlain
 					continue
 				}
@@ -632,19 +718,19 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 						ec.set(err)
 						return false
 					}
-					s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
+					s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
 					cls.status[i] = memberDemoted
-					bld.SetRow(r, s.cols, s.vals)
+					bld.SetRowBlocks(r, s.cols, s.vals)
 					continue
 				}
 				if err := ev.assembleRow(pos, wk, s.acc); err != nil {
 					ec.set(err)
 					return false
 				}
-				s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
+				s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
 				s.ord, s.scols, s.svals = buildStamp(cls, ids, basisN, s.ord, s.scols, s.svals)
 				if rowsEqualBits(s.cols, s.vals, s.scols, s.svals) {
-					if d, ok := uniformShift(cls, ids, basisN); ok {
+					if d, ok := uniformShift(cls, ids); ok {
 						cls.status[i], cls.shiftD[i] = memberVerifiedTpl, d
 						continue
 					}
@@ -652,7 +738,7 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 				} else {
 					cls.status[i] = memberDemoted
 				}
-				bld.SetRow(r, s.cols, s.vals)
+				bld.SetRowBlocks(r, s.cols, s.vals)
 			}
 			return true
 		})
@@ -667,8 +753,8 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 				ec.set(err)
 				return false
 			}
-			s.cols, s.vals = s.acc.flatten(s.cols, s.vals)
-			bld.SetRow(r, s.cols, s.vals)
+			s.cols, s.vals = s.acc.flattenBlocks(s.cols, s.vals)
+			bld.SetRowBlocks(r, s.cols, s.vals)
 			return true
 		})
 	}
@@ -712,28 +798,30 @@ func (ev *Evaluator) assemblePerPointCongruent(positions []geom.Point, perm []in
 			stats.ClassesDemoted++
 		}
 		rep := int(cls.members[0])
-		if users >= 2 && len(cls.repCols) > 0 {
-			t := bld.AddTemplate(cls.repCols, cls.repVals)
-			bld.SetRowTemplated(rep, t, cls.repCols[0])
+		if users >= 2 && len(cls.repElems) > 0 {
+			t := bld.AddTemplateBlocks(cls.repElems, cls.repVals)
+			bld.SetRowTemplated(rep, t, cls.repElems[0]*int32(basisN))
 			for i := 1; i < len(cls.members); i++ {
 				if cls.status[i] == memberStampedTpl || cls.status[i] == memberVerifiedTpl {
-					bld.SetRowTemplated(int(cls.members[i]), t, cls.repCols[0]+cls.shiftD[i]*int32(basisN))
+					bld.SetRowTemplated(int(cls.members[i]), t, (cls.repElems[0]+cls.shiftD[i])*int32(basisN))
 				}
 			}
 			continue
 		}
-		bld.SetRow(rep, cls.repCols, cls.repVals)
+		bld.SetRowBlocks(rep, cls.repElems, cls.repVals)
 		for i := 1; i < len(cls.members); i++ {
 			if cls.status[i] == memberStampedTpl || cls.status[i] == memberVerifiedTpl {
 				stamped = stamped[:0]
-				for _, c := range cls.repCols {
-					stamped = append(stamped, c+cls.shiftD[i]*int32(basisN))
+				for _, e := range cls.repElems {
+					stamped = append(stamped, e+cls.shiftD[i])
 				}
-				bld.SetRow(int(cls.members[i]), stamped, cls.repVals)
+				bld.SetRowBlocks(int(cls.members[i]), stamped, cls.repVals)
 			}
 		}
 	}
 	stats.RowsIntegrated = n - stats.RowsStamped
+	stats.SigCacheLookups = cacheLookups.Load()
+	stats.SigCacheHits = cacheHits.Load()
 	return bld, total, stats, nil
 }
 

@@ -29,6 +29,21 @@ type OperatorCounters struct {
 	// (plain CSR size minus compressed size) across admitted operators.
 	BytesSaved atomic.Uint64
 
+	// OpsBSR / OpsCSR count operators admitted to the cache per layout
+	// (blocked vs scalar index); IndexBytesSaved accumulates the resident
+	// index bytes the blocked layout is saving versus scalar CSR across
+	// admitted operators.
+	OpsBSR          atomic.Uint64
+	OpsCSR          atomic.Uint64
+	IndexBytesSaved atomic.Uint64
+
+	// SigCacheLookups / SigCacheHits accumulate the cross-assembly
+	// signature-cache traffic of congruence-first assemblies: a hit skips
+	// one row's canonicalisation when a variant operator (different grid
+	// degree or boundary) re-hashes the same mesh.
+	SigCacheLookups atomic.Uint64
+	SigCacheHits    atomic.Uint64
+
 	// Congruence-first assembly outcomes, accumulated per assembled
 	// operator: rows that ran quadrature vs rows stamped from a class
 	// representative, and classes whose members needed the verification
@@ -78,6 +93,29 @@ func (o *OperatorCounters) RecordApply(nf int) {
 	o.FieldsApplied.Add(uint64(nf))
 }
 
+// RecordLayout folds one operator admission's layout into the counters.
+func (o *OperatorCounters) RecordLayout(blocked bool, indexBytesSaved int64) {
+	if blocked {
+		o.OpsBSR.Add(1)
+		if indexBytesSaved > 0 {
+			o.IndexBytesSaved.Add(uint64(indexBytesSaved))
+		}
+	} else {
+		o.OpsCSR.Add(1)
+	}
+}
+
+// RecordSigCache folds one assembly's signature-cache traffic into the
+// counters.
+func (o *OperatorCounters) RecordSigCache(lookups, hits int64) {
+	if lookups > 0 {
+		o.SigCacheLookups.Add(uint64(lookups))
+	}
+	if hits > 0 {
+		o.SigCacheHits.Add(uint64(hits))
+	}
+}
+
 // RecordTemplates folds one operator's compression outcome into the
 // counters: total storage rows, rows resolved through a template, and the
 // byte delta against the plain CSR form (0 for untemplated operators).
@@ -99,6 +137,14 @@ type OperatorSnapshot struct {
 	TemplateHitRate float64 `json:"template_hit_rate"`
 	BytesSaved      uint64  `json:"bytes_saved"`
 
+	OpsBSR          uint64 `json:"ops_bsr"`
+	OpsCSR          uint64 `json:"ops_csr"`
+	IndexBytesSaved uint64 `json:"index_bytes_saved"`
+
+	SigCacheLookups uint64  `json:"sig_cache_lookups"`
+	SigCacheHits    uint64  `json:"sig_cache_hits"`
+	SigCacheHitRate float64 `json:"sig_cache_hit_rate"`
+
 	RowsAssembled      uint64  `json:"rows_assembled"`
 	RowsStamped        uint64  `json:"rows_stamped"`
 	StampRate          float64 `json:"stamp_rate"`
@@ -116,6 +162,11 @@ func (o *OperatorCounters) Snapshot() OperatorSnapshot {
 		RowsTemplated:      o.RowsTemplated.Load(),
 		RowsTotal:          o.RowsTotal.Load(),
 		BytesSaved:         o.BytesSaved.Load(),
+		OpsBSR:             o.OpsBSR.Load(),
+		OpsCSR:             o.OpsCSR.Load(),
+		IndexBytesSaved:    o.IndexBytesSaved.Load(),
+		SigCacheLookups:    o.SigCacheLookups.Load(),
+		SigCacheHits:       o.SigCacheHits.Load(),
 		RowsAssembled:      o.RowsAssembled.Load(),
 		RowsStamped:        o.RowsStamped.Load(),
 		ClassesVerified:    o.ClassesVerified.Load(),
@@ -127,6 +178,9 @@ func (o *OperatorCounters) Snapshot() OperatorSnapshot {
 	}
 	if total := s.RowsAssembled + s.RowsStamped; total > 0 {
 		s.StampRate = float64(s.RowsStamped) / float64(total)
+	}
+	if s.SigCacheLookups > 0 {
+		s.SigCacheHitRate = float64(s.SigCacheHits) / float64(s.SigCacheLookups)
 	}
 	return s
 }

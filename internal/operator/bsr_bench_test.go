@@ -1,0 +1,131 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"unstencil/internal/metrics"
+)
+
+// benchBSRPair builds a synthetic operator shaped like the P2 16×16
+// structured-mesh SIAC operator (the BENCH_PR10 sweep's memory-bound
+// case): every row a sorted set of full element blocks, in both layouts.
+func benchBSRPair(b *testing.B, rows, elems, basisN, blocksPerRow int) (csr, bsr *Operator) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	bld := NewBuilder(rows, elems*basisN, basisN)
+	ids := make([]int32, 0, blocksPerRow)
+	vals := make([]float64, blocksPerRow*basisN)
+	for r := 0; r < rows; r++ {
+		ids = ids[:0]
+		start := rng.Intn(elems)
+		for k := 0; k < blocksPerRow; k++ {
+			ids = append(ids, int32((start+k*2)%elems))
+		}
+		// SetRowBlocks wants ascending element ids.
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+		dedup := ids[:1]
+		for _, e := range ids[1:] {
+			if e != dedup[len(dedup)-1] {
+				dedup = append(dedup, e)
+			}
+		}
+		v := vals[:len(dedup)*basisN]
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		bld.SetRowBlocks(r, dedup, v)
+	}
+	csr = bld.Finish(nil, 1, "bench", time.Duration(0), metrics.Counters{})
+	bsr = csr.ToBSR()
+	if bsr.BSR == nil {
+		b.Fatal("synthetic operator did not convert to BSR")
+	}
+	return csr, bsr
+}
+
+func benchApplyVec(b *testing.B, op *Operator) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	coeffs := make([]float64, op.Cols)
+	for i := range coeffs {
+		coeffs[i] = rng.NormFloat64()
+	}
+	out := make([]float64, op.Rows)
+	b.SetBytes(int64(len(op.Val)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.ApplyVec(coeffs, out, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchApplyBlock(b *testing.B, op *Operator, nf int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	coeffs := make([][]float64, nf)
+	out := make([][]float64, nf)
+	for f := range coeffs {
+		coeffs[f] = make([]float64, op.Cols)
+		for i := range coeffs[f] {
+			coeffs[f][i] = rng.NormFloat64()
+		}
+		out[f] = make([]float64, op.Rows)
+	}
+	b.SetBytes(int64(len(op.Val)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.ApplyBlock(coeffs, out, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// P2-like shape: 4608 rows × 512 elements, basisN 6, ~237 blocks per row
+// (≈ 78 MB of values — out of cache, the regime the layout targets).
+func BenchmarkApplyVecCSRP2(b *testing.B) {
+	csr, _ := benchBSRPair(b, 4608, 512, 6, 237)
+	benchApplyVec(b, csr)
+}
+
+func BenchmarkApplyVecBSRP2(b *testing.B) {
+	_, bsr := benchBSRPair(b, 4608, 512, 6, 237)
+	benchApplyVec(b, bsr)
+}
+
+func BenchmarkApplyBlockCSRP2(b *testing.B) {
+	csr, _ := benchBSRPair(b, 4608, 512, 6, 237)
+	benchApplyBlock(b, csr, 8)
+}
+
+func BenchmarkApplyBlockBSRP2(b *testing.B) {
+	_, bsr := benchBSRPair(b, 4608, 512, 6, 237)
+	benchApplyBlock(b, bsr, 8)
+}
+
+// P1-like shape: 2048 rows × 512 elements, basisN 3, ~164 blocks per row.
+func BenchmarkApplyVecCSRP1(b *testing.B) {
+	csr, _ := benchBSRPair(b, 2048, 512, 3, 164)
+	benchApplyVec(b, csr)
+}
+
+func BenchmarkApplyVecBSRP1(b *testing.B) {
+	_, bsr := benchBSRPair(b, 2048, 512, 3, 164)
+	benchApplyVec(b, bsr)
+}
+
+func BenchmarkApplyBlockCSRP1(b *testing.B) {
+	csr, _ := benchBSRPair(b, 2048, 512, 3, 164)
+	benchApplyBlock(b, csr, 8)
+}
+
+func BenchmarkApplyBlockBSRP1(b *testing.B) {
+	_, bsr := benchBSRPair(b, 2048, 512, 3, 164)
+	benchApplyBlock(b, bsr, 8)
+}

@@ -1,0 +1,387 @@
+package operator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"unstencil/internal/metrics"
+)
+
+// bsrVariants returns the layout pair (CSR original, BSR conversion) for
+// each combination of permutation and templating the identity tests sweep.
+func bsrVariants(t *testing.T) map[string][2]*Operator {
+	t.Helper()
+	out := map[string][2]*Operator{}
+	for _, permuted := range []bool{false, true} {
+		for _, templated := range []bool{false, true} {
+			var csr *Operator
+			if templated {
+				csr = buildCongruent(600, 150, 3, 77, permuted).Templatize()
+				if csr.Tpl == nil {
+					t.Fatal("congruent fixture did not templatize")
+				}
+			} else {
+				csr = buildRandomPerm(600, 150, 3, 77, permuted)
+			}
+			bsr := csr.ToBSR()
+			if bsr.BSR == nil {
+				t.Fatalf("block-aligned operator (permuted=%v templated=%v) did not convert", permuted, templated)
+			}
+			if bsr.ColInd != nil {
+				t.Fatal("blocked operator still carries scalar column indices")
+			}
+			if templated && bsr.Tpl.TplDelta != nil {
+				t.Fatal("blocked templated operator still carries scalar template deltas")
+			}
+			name := map[bool]string{false: "plain", true: "templated"}[templated] +
+				"/" + map[bool]string{false: "identity", true: "permuted"}[permuted]
+			out[name] = [2]*Operator{csr, bsr}
+		}
+	}
+	return out
+}
+
+// TestToBSRRoundTrip pins the lossless conversion: ToCSR(ToBSR(op))
+// reproduces every CSR array bitwise.
+func TestToBSRRoundTrip(t *testing.T) {
+	for name, pair := range bsrVariants(t) {
+		csr, bsr := pair[0], pair[1]
+		back := bsr.ToCSR()
+		if back.BSR != nil {
+			t.Fatalf("%s: ToCSR left the blocked index in place", name)
+		}
+		if len(back.ColInd) != len(csr.ColInd) {
+			t.Fatalf("%s: round trip has %d columns, original %d", name, len(back.ColInd), len(csr.ColInd))
+		}
+		for i := range csr.ColInd {
+			if back.ColInd[i] != csr.ColInd[i] {
+				t.Fatalf("%s: column %d: %d vs %d", name, i, back.ColInd[i], csr.ColInd[i])
+			}
+		}
+		for i := range csr.Val {
+			if math.Float64bits(back.Val[i]) != math.Float64bits(csr.Val[i]) {
+				t.Fatalf("%s: value %d differs bitwise", name, i)
+			}
+		}
+		for r := range csr.RowPtr {
+			if back.RowPtr[r] != csr.RowPtr[r] {
+				t.Fatalf("%s: rowptr %d: %d vs %d", name, r, back.RowPtr[r], csr.RowPtr[r])
+			}
+		}
+		if csr.Tpl != nil {
+			for i := range csr.Tpl.TplDelta {
+				if back.Tpl.TplDelta[i] != csr.Tpl.TplDelta[i] {
+					t.Fatalf("%s: template delta %d: %d vs %d", name, i, back.Tpl.TplDelta[i], csr.Tpl.TplDelta[i])
+				}
+			}
+		}
+		sameRowsBitwise(t, csr, back)
+	}
+}
+
+// TestBSRApplyVecBitIdentical is the tentpole property for the vector
+// kernel: the blocked apply equals the CSR apply bitwise at every worker
+// count, for plain and templated operators, permuted and identity orders.
+func TestBSRApplyVecBitIdentical(t *testing.T) {
+	for name, pair := range bsrVariants(t) {
+		csr, bsr := pair[0], pair[1]
+		coeffs := randFields(csr.Cols, 1, 4242)[0]
+		want := make([]float64, csr.Rows)
+		if err := csr.ApplyVec(coeffs, want, 1); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 7} {
+			got := make([]float64, bsr.Rows)
+			if err := bsr.ApplyVec(coeffs, got, workers); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s workers=%d: point %d: %x vs %x",
+						name, workers, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestBSRApplyBlockBitIdentical is the tentpole property for the SpMM
+// kernel: blocked ApplyBlock equals CSR ApplyBlock bitwise across field
+// widths (under, at, and over the fieldBlock tile) and worker counts.
+func TestBSRApplyBlockBitIdentical(t *testing.T) {
+	for name, pair := range bsrVariants(t) {
+		csr, bsr := pair[0], pair[1]
+		for _, nf := range []int{1, 2, 3, 8, 9, 16} {
+			coeffs := randFields(csr.Cols, nf, 99)
+			want := make([][]float64, nf)
+			got := make([][]float64, nf)
+			for f := 0; f < nf; f++ {
+				want[f] = make([]float64, csr.Rows)
+				got[f] = make([]float64, csr.Rows)
+			}
+			if err := csr.ApplyBlock(coeffs, want, 1); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3, 7} {
+				for f := range got {
+					clear(got[f])
+				}
+				if err := bsr.ApplyBlock(coeffs, got, workers); err != nil {
+					t.Fatal(err)
+				}
+				for f := range want {
+					for i := range want[f] {
+						if math.Float64bits(got[f][i]) != math.Float64bits(want[f][i]) {
+							t.Fatalf("%s nf=%d workers=%d: field %d point %d differs bitwise",
+								name, nf, workers, f, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestToBSRFallback pins the transparent-fallback contract: operators that
+// cannot save index bytes come back unchanged.
+func TestToBSRFallback(t *testing.T) {
+	// basisN == 1: a block index would be the column index — nothing saved.
+	b := NewBuilder(3, 5, 1)
+	b.SetRow(0, []int32{0, 2}, []float64{1, 2})
+	b.SetRow(2, []int32{1, 3, 4}, []float64{3, 4, 5})
+	op := b.Finish(nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	if got := op.ToBSR(); got != op {
+		t.Fatal("basisN=1 operator should be returned unchanged")
+	}
+
+	// Misaligned columns: a row that starts mid-block.
+	b = NewBuilder(2, 9, 3)
+	b.SetRow(0, []int32{1, 2, 3}, []float64{1, 2, 3})
+	op = b.Finish(nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	if got := op.ToBSR(); got != op {
+		t.Fatal("misaligned operator should be returned unchanged")
+	}
+
+	// Partial block: row length not a multiple of basisN.
+	b = NewBuilder(2, 9, 3)
+	b.SetRow(0, []int32{0, 1}, []float64{1, 2})
+	op = b.Finish(nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	if got := op.ToBSR(); got != op {
+		t.Fatal("partial-block operator should be returned unchanged")
+	}
+
+	// Empty operator: nothing stored, nothing to save.
+	b = NewBuilder(4, 9, 3)
+	op = b.Finish(nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	if got := op.ToBSR(); got != op {
+		t.Fatal("empty operator should be returned unchanged")
+	}
+
+	// Already blocked: idempotent.
+	blocked := buildRandomPerm(40, 12, 3, 5, false).ToBSR()
+	if blocked.BSR == nil {
+		t.Fatal("fixture did not convert")
+	}
+	if got := blocked.ToBSR(); got != blocked {
+		t.Fatal("ToBSR on a blocked operator should be a no-op")
+	}
+}
+
+// TestFinishLayoutBSR checks that the builder emits the blocked index
+// directly — structurally identical to converting the CSR freeze — for
+// both block-form and scalar-form input rows, and that LayoutCSR and
+// non-blockable builders fall back to plain CSR.
+func TestFinishLayoutBSR(t *testing.T) {
+	build := func(blocks bool) *Builder {
+		b := NewBuilder(4, 12, 3)
+		rows := [][]int32{{0, 2}, {1}, {2, 3}} // element ids per row
+		vals := [][]float64{
+			{1, 2, 3, 4, 5, 6},
+			{7, 8, 9},
+			{10, 11, 12, 13, 14, 15},
+		}
+		for r := range rows {
+			if blocks {
+				b.SetRowBlocks(r, rows[r], vals[r])
+			} else {
+				var ci []int32
+				for _, e := range rows[r] {
+					for m := int32(0); m < 3; m++ {
+						ci = append(ci, e*3+m)
+					}
+				}
+				b.SetRow(r, ci, vals[r])
+			}
+		}
+		return b
+	}
+	for _, blocks := range []bool{false, true} {
+		bsr := build(blocks).FinishLayout(LayoutBSR, nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+		if bsr.BSR == nil {
+			t.Fatalf("blocks=%v: FinishLayout(LayoutBSR) did not emit the blocked index", blocks)
+		}
+		want := []int32{0, 2, 1, 2, 3}
+		if len(bsr.BSR.BlockID) != len(want) {
+			t.Fatalf("blocks=%v: %d block ids, want %d", blocks, len(bsr.BSR.BlockID), len(want))
+		}
+		for i, e := range want {
+			if bsr.BSR.BlockID[i] != e {
+				t.Fatalf("blocks=%v: block %d = %d, want %d", blocks, i, bsr.BSR.BlockID[i], e)
+			}
+		}
+		csr := build(blocks).FinishLayout(LayoutCSR, nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+		if csr.BSR != nil {
+			t.Fatalf("blocks=%v: FinishLayout(LayoutCSR) emitted a blocked index", blocks)
+		}
+		sameRowsBitwise(t, csr, bsr.ToCSR())
+	}
+
+	// A scalar (unaligned) row forces the CSR fallback even under LayoutBSR.
+	b := NewBuilder(2, 12, 3)
+	b.SetRow(0, []int32{1, 2, 3}, []float64{1, 2, 3})
+	op := b.FinishLayout(LayoutBSR, nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	if op.BSR != nil {
+		t.Fatal("unaligned builder should fall back to CSR")
+	}
+}
+
+// TestFinishLayoutTemplatedBSR drives the template path end to end in
+// block form: AddTemplateBlocks + SetRowTemplated must freeze into a
+// blocked TemplateSet whose applies match the CSR freeze bitwise.
+func TestFinishLayoutTemplatedBSR(t *testing.T) {
+	const rows, elems, basisN = 64, 40, 3
+	mk := func() *Builder {
+		b := NewBuilder(rows, elems*basisN, basisN)
+		b.MarkTemplateAware()
+		telems := []int32{2, 3, 5}
+		tvals := []float64{1, -2, 3, -4, 5, -6, 7, -8, 9}
+		tpl := b.AddTemplateBlocks(telems, tvals)
+		for r := 0; r < rows; r++ {
+			if r%5 == 0 {
+				b.SetRowBlocks(r, []int32{int32(r % elems)}, []float64{1, 2, 3})
+				continue
+			}
+			base := int32(r%20) * basisN // block-aligned column base
+			b.SetRowTemplated(r, tpl, base)
+		}
+		return b
+	}
+	bsr := mk().FinishLayout(LayoutBSR, nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	if bsr.BSR == nil || bsr.Tpl == nil {
+		t.Fatal("templated block builder did not freeze into blocked templates")
+	}
+	if bsr.Tpl.TplDelta != nil || len(bsr.BSR.TplBlockDelta) != 3 {
+		t.Fatalf("blocked template store malformed: delta=%v blockDelta=%v",
+			bsr.Tpl.TplDelta, bsr.BSR.TplBlockDelta)
+	}
+	csr := mk().Finish(nil, 1, "per-point", time.Millisecond, metrics.Counters{})
+	coeffs := randFields(csr.Cols, 1, 7)[0]
+	want := make([]float64, rows)
+	got := make([]float64, rows)
+	if err := csr.ApplyVec(coeffs, want, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		if err := bsr.ApplyVec(coeffs, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: point %d differs bitwise", workers, i)
+			}
+		}
+	}
+	sameRowsBitwise(t, csr.Expand(), bsr.Expand())
+
+	// A misaligned templated base forces the CSR fallback.
+	b := mk()
+	b.SetRowTemplated(1, 0, 1) // base 1 is mid-block
+	if op := b.FinishLayout(LayoutBSR, nil, 1, "per-point", time.Millisecond, metrics.Counters{}); op.BSR != nil {
+		t.Fatal("misaligned template base should fall back to CSR")
+	}
+}
+
+// TestBSRBytes pins the byte accounting: the blocked layout must report
+// fewer resident bytes than its CSR twin, with the gap equal to
+// IndexBytesSaved, and Stats must carry the layout tag.
+func TestBSRBytes(t *testing.T) {
+	for name, pair := range bsrVariants(t) {
+		csr, bsr := pair[0], pair[1]
+		saved := bsr.IndexBytesSaved()
+		if saved <= 0 {
+			t.Fatalf("%s: blocked layout saved %d bytes", name, saved)
+		}
+		if csr.Bytes()-bsr.Bytes() != saved {
+			t.Fatalf("%s: byte gap %d, IndexBytesSaved %d", name, csr.Bytes()-bsr.Bytes(), saved)
+		}
+		if s := bsr.Stats(); s.Layout != "bsr" || s.IndexBytesSaved != saved {
+			t.Fatalf("%s: stats %+v", name, s)
+		}
+		if s := csr.Stats(); s.Layout != "csr" || s.IndexBytesSaved != 0 {
+			t.Fatalf("%s: CSR stats %+v", name, s)
+		}
+		if csr.NNZ() != bsr.NNZ() || csr.StoredNNZ() != bsr.StoredNNZ() {
+			t.Fatalf("%s: nnz accounting changed across layouts", name)
+		}
+	}
+}
+
+// TestValidateBSR exercises the decode-path guards.
+func TestValidateBSR(t *testing.T) {
+	fresh := func() *Operator { return buildRandomPerm(60, 20, 3, 9, false).ToBSR() }
+	if op := fresh(); op.ValidateBSR() != nil {
+		t.Fatal("valid blocked operator rejected")
+	}
+	if op := (&Operator{}); op.ValidateBSR() != nil {
+		t.Fatal("CSR operator should validate trivially")
+	}
+	op := fresh()
+	op.BSR.BlockID[0] = int32(op.Cols / op.BasisN) // out of range
+	if op.ValidateBSR() == nil {
+		t.Fatal("out-of-range block id accepted")
+	}
+	op = fresh()
+	op.BSR.BlockID = op.BSR.BlockID[:len(op.BSR.BlockID)-1]
+	if op.ValidateBSR() == nil {
+		t.Fatal("short block index accepted")
+	}
+	op = fresh()
+	op.RowPtr[1]++ // mid-block row boundary
+	if op.ValidateBSR() == nil {
+		t.Fatal("misaligned row pointer accepted")
+	}
+	op = fresh()
+	op.Cols++ // no longer a multiple of basisN
+	if op.ValidateBSR() == nil {
+		t.Fatal("ragged column count accepted")
+	}
+}
+
+// TestBSRApplyAllocFree pins the zero-allocation property of the blocked
+// hot paths, matching TestApplyAllocFree for the CSR kernels.
+func TestBSRApplyAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	op := buildRandomPerm(600, 150, 3, 11, true).ToBSR()
+	if op.BSR == nil {
+		t.Fatal("fixture did not convert")
+	}
+	coeffs := randFields(op.Cols, 2, 3)
+	out := [][]float64{make([]float64, op.Rows), make([]float64, op.Rows)}
+	if n := testing.AllocsPerRun(20, func() {
+		if err := op.ApplyVec(coeffs[0], out[0], 1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("blocked ApplyVec allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if err := op.ApplyBlock(coeffs, out, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("blocked ApplyBlock allocates %v per run", n)
+	}
+}

@@ -48,6 +48,15 @@ type Operator struct {
 	ColInd []int32   // column index = elem·BasisN + mode, ascending within a row
 	Val    []float64 // weight per entry
 
+	// BSR is the blocked column index when the operator is stored in the
+	// block-sparse layout (see bsr.go): one element id per BasisN-wide
+	// block instead of BasisN scalar column indices. Nil for scalar CSR
+	// operators. A blocked operator carries no scalar indices — ColInd is
+	// nil and, when templated, Tpl.TplDelta is nil — and both apply paths
+	// dispatch to the blocked kernels, which are bit-identical to the CSR
+	// kernels.
+	BSR *BSRIndex
+
 	// Perm maps storage row r to the evaluation-point index it computes;
 	// nil means identity. Assembly in Morton order stores spatially
 	// neighbouring points in adjacent rows, so consecutive rows gather
@@ -121,10 +130,10 @@ func (op *Operator) TplVals() []float64 {
 	return op.Tpl.TplVal
 }
 
-// Bytes returns the resident size of the CSR and template arrays.
+// Bytes returns the resident size of the CSR (or BSR) and template arrays.
 func (op *Operator) Bytes() int64 {
 	return int64(len(op.Val))*8 + int64(len(op.ColInd))*4 +
-		int64(len(op.RowPtr))*8 + int64(len(op.Perm))*4 + op.Tpl.Bytes()
+		int64(len(op.RowPtr))*8 + int64(len(op.Perm))*4 + op.Tpl.Bytes() + op.BSR.Bytes()
 }
 
 // BytesSaved returns how many resident bytes template dedup is saving
@@ -151,11 +160,21 @@ type Stats struct {
 	StoredNNZ     int `json:"stored_nnz,omitempty"`
 	Templates     int `json:"templates,omitempty"`
 	TemplatedRows int `json:"templated_rows,omitempty"`
+
+	// Layout is "bsr" for block-sparse operators, "csr" otherwise;
+	// IndexBytesSaved is the blocked layout's index-byte saving vs the
+	// scalar encoding (0 for CSR).
+	Layout          string `json:"layout"`
+	IndexBytesSaved int64  `json:"index_bytes_saved,omitempty"`
 }
 
 // Stats summarises the operator's shape.
 func (op *Operator) Stats() Stats {
-	s := Stats{Rows: op.Rows, Cols: op.Cols, NNZ: op.NNZ(), Bytes: op.Bytes()}
+	s := Stats{Rows: op.Rows, Cols: op.Cols, NNZ: op.NNZ(), Bytes: op.Bytes(), Layout: "csr"}
+	if op.BSR != nil {
+		s.Layout = "bsr"
+		s.IndexBytesSaved = op.IndexBytesSaved()
+	}
 	if op.Rows > 0 {
 		s.NNZPerRow = float64(s.NNZ) / float64(op.Rows)
 		s.BytesPerRow = float64(s.Bytes) / float64(op.Rows)
@@ -205,7 +224,7 @@ func (op *Operator) ApplyVec(coeffs []float64, out []float64, workers int) error
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		op.applyRows(coeffs, out, 0, op.Rows)
+		op.applyRowsAny(coeffs, out, 0, op.Rows)
 		return nil
 	}
 	var next atomic.Int64
@@ -221,12 +240,23 @@ func (op *Operator) ApplyVec(coeffs []float64, out []float64, workers int) error
 				}
 				lo := b * applyBlock
 				hi := min(lo+applyBlock, op.Rows)
-				op.applyRows(coeffs, out, lo, hi)
+				op.applyRowsAny(coeffs, out, lo, hi)
 			}
 		}()
 	}
 	wg.Wait()
 	return nil
+}
+
+// applyRowsAny dispatches a row range to the kernel matching the
+// operator's layout. A plain branch (not a method value) keeps the apply
+// paths allocation-free.
+func (op *Operator) applyRowsAny(coeffs, out []float64, lo, hi int) {
+	if op.BSR != nil {
+		op.applyRowsBSR(coeffs, out, lo, hi)
+	} else {
+		op.applyRows(coeffs, out, lo, hi)
+	}
 }
 
 // applyRows computes storage rows [lo, hi). Row sums are Neumaier-
@@ -272,9 +302,15 @@ func abs(x float64) float64 {
 // point of the assembled path.
 func (op *Operator) ApplyCounters() metrics.Counters {
 	nnz := uint64(op.NNZ())
+	idxBytes := nnz * 4
+	if op.BSR != nil {
+		// One element id per basisN-wide block instead of one column per
+		// entry — the index-stream cut is the blocked layout's point.
+		idxBytes = nnz * 4 / uint64(op.BasisN)
+	}
 	return metrics.Counters{
 		Flops:     2 * nnz,
-		BytesRead: nnz*(8+4+8) + uint64(len(op.RowPtr))*8,
+		BytesRead: nnz*(8+8) + idxBytes + uint64(len(op.RowPtr))*8,
 	}
 }
 
@@ -309,14 +345,24 @@ type CongruenceStats struct {
 	// SignatureWall is the time spent in the signature prefilter (hash
 	// pass + grouping), the overhead the demotion acceptance bound caps.
 	SignatureWall time.Duration `json:"signature_wall_ns"`
-	// ProbeRows counts the strided sample rows the congruence probe
-	// hashed before committing to the full prefilter (0 = the operator
-	// was small enough to skip the probe). ProbeCongruent reports whether
-	// the congruence path was taken: false means the sample showed almost
-	// no repeated signatures and assembly fell back to the naive schedule,
-	// paying only the probe.
+	// ProbeRows counts the sample rows the adaptive congruence probe
+	// actually hashed before deciding (0 = the operator was small enough
+	// to skip the probe). The probe escalates through stages, exiting
+	// early when repetition is obvious or provably absent, so structured
+	// meshes commit after the first stage and jittered meshes pay for
+	// the smallest stage only. ProbeCongruent reports whether the
+	// congruence path was taken: false means the sample showed almost
+	// no repeated signatures and assembly fell back to the naive
+	// schedule, paying only the probe.
 	ProbeRows      int  `json:"probe_rows"`
 	ProbeCongruent bool `json:"probe_congruent"`
+	// SigCacheLookups / SigCacheHits count row-signature canonicalisation
+	// requests answered by a caller-provided SignatureCache. A hit skips
+	// the stencil walk + canonicalisation for that row during the hash
+	// pass; correctness never depends on the cache because quantised
+	// matches are still certified bitwise downstream.
+	SigCacheLookups int64 `json:"sig_cache_lookups,omitempty"`
+	SigCacheHits    int64 `json:"sig_cache_hits,omitempty"`
 }
 
 // Builder accumulates rows during parallel assembly and freezes them into
@@ -332,13 +378,24 @@ type Builder struct {
 	rows   int
 	cols   int
 	basisN int
+	// Rows are held in block form when their columns decompose into
+	// aligned basisN-wide element runs (belems[r]: one element id per
+	// block) and in scalar form otherwise (cinds[r]); vals[r] always
+	// carries the full entry-width values. Any scalar row sets the scalar
+	// flag, which forces FinishLayout's CSR fallback.
+	belems [][]int32
 	cinds  [][]int32
 	vals   [][]float64
+	scalar bool
 
-	// Template mode (nil/false outside it). tplDelta/tplVal hold each
-	// registered template's column deltas and weights; rowTpl/rowBase map
-	// rows onto templates exactly as in TemplateSet.
+	// Template mode (nil/false outside it). Each registered template is
+	// held in block form (tplElems[t]: element-id deltas) when its columns
+	// decompose into aligned runs, and in scalar form (tplDelta[t]: column
+	// deltas) always-or-instead; at most one of the two is nil. rowTpl/
+	// rowBase map rows onto templates exactly as in TemplateSet (rowBase
+	// in column units).
 	aware    bool
+	tplElems [][]int32
 	tplDelta [][]int32
 	tplVal   [][]float64
 	rowTpl   []int32
@@ -352,6 +409,7 @@ func NewBuilder(rows, cols, basisN int) *Builder {
 		rows:   rows,
 		cols:   cols,
 		basisN: basisN,
+		belems: make([][]int32, rows),
 		cinds:  make([][]int32, rows),
 		vals:   make([][]float64, rows),
 	}
@@ -359,11 +417,32 @@ func NewBuilder(rows, cols, basisN int) *Builder {
 
 // SetRow stores storage row r. cols must be ascending; both slices are
 // copied. Unset rows freeze as empty (a point no element contributes to).
+// Rows whose columns decompose into aligned element blocks are converted
+// to block form on the way in, so hand-built block-shaped operators still
+// qualify for the blocked layout under FinishLayout.
 func (b *Builder) SetRow(r int, cols []int32, vals []float64) {
 	if len(cols) != len(vals) {
 		panic(fmt.Sprintf("operator: row %d has %d columns but %d values", r, len(cols), len(vals)))
 	}
-	b.cinds[r] = append([]int32(nil), cols...)
+	if ids, ok := blockIDs(cols, b.basisN, nil); ok {
+		b.belems[r] = ids
+	} else {
+		b.cinds[r] = append([]int32(nil), cols...)
+		b.scalar = true
+	}
+	b.vals[r] = append([]float64(nil), vals...)
+}
+
+// SetRowBlocks stores storage row r in block form: one element id per
+// basisN-wide block (ascending) and len(elems)·basisN values in block-
+// major, mode-ascending order — exactly the scalar row whose columns are
+// elems[k]·basisN+m. Both slices are copied.
+func (b *Builder) SetRowBlocks(r int, elems []int32, vals []float64) {
+	if len(vals) != len(elems)*b.basisN {
+		panic(fmt.Sprintf("operator: row %d has %d blocks × basisN %d but %d values",
+			r, len(elems), b.basisN, len(vals)))
+	}
+	b.belems[r] = append([]int32(nil), elems...)
 	b.vals[r] = append([]float64(nil), vals...)
 }
 
@@ -399,9 +478,62 @@ func (b *Builder) AddTemplate(cols []int32, vals []float64) int32 {
 	for i, c := range cols {
 		deltas[i] = c - cols[0]
 	}
+	var elemDeltas []int32
+	if cols[0]%int32(b.basisN) == 0 {
+		if ids, ok := blockIDs(cols, b.basisN, nil); ok {
+			e0 := ids[0]
+			for i := range ids {
+				ids[i] -= e0
+			}
+			elemDeltas = ids
+		}
+	}
+	b.tplElems = append(b.tplElems, elemDeltas)
 	b.tplDelta = append(b.tplDelta, deltas)
 	b.tplVal = append(b.tplVal, append([]float64(nil), vals...))
-	return int32(len(b.tplDelta) - 1)
+	return int32(len(b.tplVal) - 1)
+}
+
+// AddTemplateBlocks registers a shared stencil pattern given in block
+// form: one element id per basisN-wide block of the representative row
+// (ascending) and len(elems)·basisN values. Stored as element-id deltas
+// from elems[0], so rows at any block-aligned base column resolve through
+// the pattern. Same serial-registration contract as AddTemplate.
+func (b *Builder) AddTemplateBlocks(elems []int32, vals []float64) int32 {
+	if !b.aware {
+		panic("operator: AddTemplateBlocks on a builder not in template mode")
+	}
+	if len(elems) == 0 || len(vals) != len(elems)*b.basisN {
+		panic(fmt.Sprintf("operator: template with %d blocks × basisN %d, %d values",
+			len(elems), b.basisN, len(vals)))
+	}
+	ed := make([]int32, len(elems))
+	for i, e := range elems {
+		ed[i] = e - elems[0]
+	}
+	b.tplElems = append(b.tplElems, ed)
+	b.tplDelta = append(b.tplDelta, nil)
+	b.tplVal = append(b.tplVal, append([]float64(nil), vals...))
+	return int32(len(b.tplVal) - 1)
+}
+
+// scalarDeltas returns template t's column-delta form, materialising it
+// from the block form when the template was registered with
+// AddTemplateBlocks.
+func (b *Builder) scalarDeltas(t int32) []int32 {
+	if d := b.tplDelta[t]; d != nil {
+		return d
+	}
+	ed := b.tplElems[t]
+	out := make([]int32, 0, len(ed)*b.basisN)
+	for _, e := range ed {
+		d0 := e * int32(b.basisN)
+		for m := int32(0); m < int32(b.basisN); m++ {
+			out = append(out, d0+m)
+		}
+	}
+	b.tplDelta[t] = out
+	return out
 }
 
 // SetRowTemplated resolves storage row r through template tpl at the given
@@ -418,15 +550,31 @@ func (b *Builder) SetRowTemplated(r int, tpl, base int32) {
 	b.rowBase[r] = base
 }
 
-// Finish flattens the accumulated rows into an immutable Operator. In
+// appendRowCols appends storage row r's scalar column indices to dst,
+// expanding block-form rows on the fly.
+func (b *Builder) appendRowCols(dst []int32, r int) []int32 {
+	if e := b.belems[r]; e != nil {
+		for _, id := range e {
+			c0 := id * int32(b.basisN)
+			for m := int32(0); m < int32(b.basisN); m++ {
+				dst = append(dst, c0+m)
+			}
+		}
+		return dst
+	}
+	return append(dst, b.cinds[r]...)
+}
+
+// Finish flattens the accumulated rows into an immutable CSR Operator. In
 // template mode the registered templates become the operator's TemplateSet
 // when they save net bytes (the same guard Templatize applies); otherwise
 // templated rows are materialised as plain CSR, so the caller never ends up
-// with an indirection that costs more than it saves.
+// with an indirection that costs more than it saves. Use FinishLayout to
+// freeze into the blocked layout instead.
 func (b *Builder) Finish(perm []int32, workers int, scheme string, wall time.Duration, counters metrics.Counters) *Operator {
 	nnz := 0
-	for _, r := range b.cinds {
-		nnz += len(r)
+	for _, v := range b.vals {
+		nnz += len(v)
 	}
 	op := &Operator{
 		Rows:             b.rows,
@@ -442,21 +590,21 @@ func (b *Builder) Finish(perm []int32, workers int, scheme string, wall time.Dur
 		AssemblyWall:     wall,
 		AssemblyCounters: counters,
 	}
-	if b.aware && len(b.tplDelta) > 0 && b.templatesSaveBytes() {
+	if b.aware && len(b.tplVal) > 0 && b.templatesSaveBytes() {
 		ts := &TemplateSet{
-			TplPtr:  make([]int64, 1, len(b.tplDelta)+1),
+			TplPtr:  make([]int64, 1, len(b.tplVal)+1),
 			RowTpl:  b.rowTpl,
 			RowBase: b.rowBase,
 		}
-		for t := range b.tplDelta {
-			ts.TplDelta = append(ts.TplDelta, b.tplDelta[t]...)
+		for t := range b.tplVal {
+			ts.TplDelta = append(ts.TplDelta, b.scalarDeltas(int32(t))...)
 			ts.TplVal = append(ts.TplVal, b.tplVal[t]...)
 			ts.TplPtr = append(ts.TplPtr, int64(len(ts.TplVal)))
 		}
 		op.Tpl = ts
 		for r := 0; r < b.rows; r++ {
 			if ts.RowTpl[r] < 0 {
-				op.ColInd = append(op.ColInd, b.cinds[r]...)
+				op.ColInd = b.appendRowCols(op.ColInd, r)
 				op.Val = append(op.Val, b.vals[r]...)
 			}
 			op.RowPtr[r+1] = int64(len(op.Val))
@@ -467,12 +615,118 @@ func (b *Builder) Finish(perm []int32, workers int, scheme string, wall time.Dur
 		if b.aware && b.rowTpl[r] >= 0 {
 			// Template mode without a net saving: materialise the row.
 			t := b.rowTpl[r]
-			for i, d := range b.tplDelta[t] {
+			for i, d := range b.scalarDeltas(t) {
 				op.ColInd = append(op.ColInd, b.rowBase[r]+d)
 				op.Val = append(op.Val, b.tplVal[t][i])
 			}
 		} else {
-			op.ColInd = append(op.ColInd, b.cinds[r]...)
+			op.ColInd = b.appendRowCols(op.ColInd, r)
+			op.Val = append(op.Val, b.vals[r]...)
+		}
+		op.RowPtr[r+1] = int64(len(op.Val))
+	}
+	return op
+}
+
+// Layout selects the storage layout FinishLayout freezes into. The zero
+// value is LayoutBSR — blocked when the accumulated rows allow it, with a
+// transparent CSR fallback — so callers that don't care get the compact
+// layout by default.
+type Layout int
+
+const (
+	// LayoutBSR freezes into the block-sparse layout when every row and
+	// template decomposes into aligned basisN-wide element blocks (and
+	// basisN > 1); otherwise it falls back to CSR.
+	LayoutBSR Layout = iota
+	// LayoutCSR always freezes into scalar CSR.
+	LayoutCSR
+)
+
+// blockable reports whether the accumulated rows and templates can freeze
+// into the blocked layout: no scalar row, basisN wide enough to save index
+// bytes, every registered template in block form, and every templated
+// row's base column block-aligned.
+func (b *Builder) blockable() bool {
+	if b.scalar || b.basisN <= 1 {
+		return false
+	}
+	for t := range b.tplVal {
+		if b.tplElems[t] == nil {
+			return false
+		}
+	}
+	if b.aware {
+		for r := 0; r < b.rows; r++ {
+			if b.rowTpl[r] >= 0 && b.rowBase[r]%int32(b.basisN) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FinishLayout freezes the accumulated rows like Finish but into the
+// requested layout. LayoutBSR emits the blocked index directly — no
+// ToBSR re-scan — when the rows qualify (see blockable); unqualified
+// builders fall back to Finish's CSR output, mirroring ToBSR's transparent
+// fallback. The frozen operator's applies are bit-identical across both
+// layouts.
+func (b *Builder) FinishLayout(layout Layout, perm []int32, workers int, scheme string, wall time.Duration, counters metrics.Counters) *Operator {
+	nnz := 0
+	for _, v := range b.vals {
+		nnz += len(v)
+	}
+	useTpl := b.aware && len(b.tplVal) > 0 && b.templatesSaveBytes()
+	if layout != LayoutBSR || !b.blockable() || (nnz == 0 && !useTpl) {
+		return b.Finish(perm, workers, scheme, wall, counters)
+	}
+	op := &Operator{
+		Rows:             b.rows,
+		Cols:             b.cols,
+		BasisN:           b.basisN,
+		RowPtr:           make([]int64, b.rows+1),
+		Val:              make([]float64, 0, nnz),
+		BSR:              &BSRIndex{BlockID: make([]int32, 0, nnz/b.basisN)},
+		Perm:             perm,
+		Workers:          workers,
+		TemplateAware:    b.aware,
+		AssemblyScheme:   scheme,
+		AssemblyWall:     wall,
+		AssemblyCounters: counters,
+	}
+	if useTpl {
+		ts := &TemplateSet{
+			TplPtr:  make([]int64, 1, len(b.tplVal)+1),
+			RowTpl:  b.rowTpl,
+			RowBase: b.rowBase,
+		}
+		for t := range b.tplVal {
+			op.BSR.TplBlockDelta = append(op.BSR.TplBlockDelta, b.tplElems[t]...)
+			ts.TplVal = append(ts.TplVal, b.tplVal[t]...)
+			ts.TplPtr = append(ts.TplPtr, int64(len(ts.TplVal)))
+		}
+		op.Tpl = ts
+		for r := 0; r < b.rows; r++ {
+			if ts.RowTpl[r] < 0 {
+				op.BSR.BlockID = append(op.BSR.BlockID, b.belems[r]...)
+				op.Val = append(op.Val, b.vals[r]...)
+			}
+			op.RowPtr[r+1] = int64(len(op.Val))
+		}
+		return op
+	}
+	for r := 0; r < b.rows; r++ {
+		if b.aware && b.rowTpl[r] >= 0 {
+			// Template mode without a net saving: materialise the row.
+			t := b.rowTpl[r]
+			baseElem := b.rowBase[r] / int32(b.basisN)
+			for _, d := range b.tplElems[t] {
+				op.BSR.BlockID = append(op.BSR.BlockID, baseElem+d)
+			}
+			op.Val = append(op.Val, b.tplVal[t]...)
+		} else {
+			op.BSR.BlockID = append(op.BSR.BlockID, b.belems[r]...)
 			op.Val = append(op.Val, b.vals[r]...)
 		}
 		op.RowPtr[r+1] = int64(len(op.Val))
@@ -486,13 +740,13 @@ func (b *Builder) Finish(perm []int32, workers int, scheme string, wall time.Dur
 // table.
 func (b *Builder) templatesSaveBytes() bool {
 	var tplNNZ, savedNNZ int64
-	for _, d := range b.tplDelta {
-		tplNNZ += int64(len(d))
+	for _, v := range b.tplVal {
+		tplNNZ += int64(len(v))
 	}
 	for r := 0; r < b.rows; r++ {
 		if t := b.rowTpl[r]; t >= 0 {
-			savedNNZ += int64(len(b.tplDelta[t]))
+			savedNNZ += int64(len(b.tplVal[t]))
 		}
 	}
-	return (savedNNZ-tplNNZ)*12-int64(b.rows)*8-int64(len(b.tplDelta)+1)*8 > 0
+	return (savedNNZ-tplNNZ)*12-int64(b.rows)*8-int64(len(b.tplVal)+1)*8 > 0
 }

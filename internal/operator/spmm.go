@@ -139,7 +139,7 @@ func (op *Operator) ApplyBlock(coeffs [][]float64, out [][]float64, workers int)
 		}
 		outs := out[f0 : f0+fb]
 		if workers <= 1 {
-			op.applyRowsBlock(tile, fb, outs, 0, op.Rows)
+			op.applyRowsBlockAny(tile, fb, outs, 0, op.Rows)
 			continue
 		}
 		var next atomic.Int64
@@ -155,7 +155,7 @@ func (op *Operator) ApplyBlock(coeffs [][]float64, out [][]float64, workers int)
 					}
 					lo := b * applyBlock
 					hi := min(lo+applyBlock, op.Rows)
-					op.applyRowsBlock(tile, fb, outs, lo, hi)
+					op.applyRowsBlockAny(tile, fb, outs, lo, hi)
 				}
 			}()
 		}
@@ -171,10 +171,25 @@ func (op *Operator) ApplyBlock(coeffs [][]float64, out [][]float64, workers int)
 // SpMVs. Coefficient gathers still happen once per (entry, field).
 func (op *Operator) ApplyBlockCounters(nf int) metrics.Counters {
 	nnz := uint64(op.NNZ())
+	idxBytes := nnz * 4
+	if op.BSR != nil {
+		idxBytes = nnz * 4 / uint64(op.BasisN)
+	}
 	tiles := uint64((nf + fieldBlock - 1) / fieldBlock)
 	return metrics.Counters{
 		Flops:     2 * nnz * uint64(nf),
-		BytesRead: tiles*(nnz*(8+4)+uint64(len(op.RowPtr))*8) + nnz*8*uint64(nf),
+		BytesRead: tiles*(nnz*8+idxBytes+uint64(len(op.RowPtr))*8) + nnz*8*uint64(nf),
+	}
+}
+
+// applyRowsBlockAny dispatches a row range to the tile kernel matching the
+// operator's layout. A plain branch (not a method value) keeps the apply
+// paths allocation-free.
+func (op *Operator) applyRowsBlockAny(packed []float64, fb int, out [][]float64, lo, hi int) {
+	if op.BSR != nil {
+		op.applyRowsBlockBSR(packed, fb, out, lo, hi)
+	} else {
+		op.applyRowsBlock(packed, fb, out, lo, hi)
 	}
 }
 

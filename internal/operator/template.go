@@ -141,7 +141,7 @@ func (op *Operator) rowsCongruent(a, b int) bool {
 // detected before integration, so every cache admission would otherwise
 // pay a full pass over the CSR arrays for nothing.
 func (op *Operator) Templatize() *Operator {
-	if op.Tpl != nil || op.TemplateAware || op.Rows == 0 {
+	if op.Tpl != nil || op.TemplateAware || op.BSR != nil || op.Rows == 0 {
 		return op
 	}
 	// Pass 1: bucket rows by quantised hash, gate with exact congruence.
@@ -256,6 +256,9 @@ func (op *Operator) Templatize() *Operator {
 // returns it unchanged. Expand(Templatize(op)) reproduces op's rows
 // bitwise — the round-trip property the tests pin.
 func (op *Operator) Expand() *Operator {
+	if op.BSR != nil {
+		return op.ToCSR().Expand()
+	}
 	if op.Tpl == nil {
 		return op
 	}
@@ -296,13 +299,32 @@ func (op *Operator) ValidateTemplates() error {
 	if len(ts.TplPtr) == 0 || ts.TplPtr[0] != 0 {
 		return fmt.Errorf("operator: template pointer array must start at 0")
 	}
-	if int64(len(ts.TplDelta)) != ts.TplPtr[nt] || len(ts.TplVal) != len(ts.TplDelta) {
+	if op.BSR != nil {
+		// Blocked operators carry TplBlockDelta instead of TplDelta: one
+		// element-id delta per basisN-wide block, with every template span
+		// (and row base, below) block-aligned.
+		if ts.TplDelta != nil {
+			return fmt.Errorf("operator: blocked operator still carries %d scalar template deltas", len(ts.TplDelta))
+		}
+		if op.BasisN < 1 {
+			return fmt.Errorf("operator: templated blocked operator with basisN %d", op.BasisN)
+		}
+		if int64(len(op.BSR.TplBlockDelta))*int64(op.BasisN) != ts.TplPtr[nt] ||
+			int64(len(ts.TplVal)) != ts.TplPtr[nt] {
+			return fmt.Errorf("operator: template arrays disagree: ptr end %d, %d block deltas × basisN %d, %d values",
+				ts.TplPtr[nt], len(op.BSR.TplBlockDelta), op.BasisN, len(ts.TplVal))
+		}
+	} else if int64(len(ts.TplDelta)) != ts.TplPtr[nt] || len(ts.TplVal) != len(ts.TplDelta) {
 		return fmt.Errorf("operator: template arrays disagree: ptr end %d, %d deltas, %d values",
 			ts.TplPtr[nt], len(ts.TplDelta), len(ts.TplVal))
 	}
 	for t := 0; t < nt; t++ {
 		if ts.TplPtr[t] > ts.TplPtr[t+1] {
 			return fmt.Errorf("operator: template %d has negative length", t)
+		}
+		if op.BSR != nil && ts.TplPtr[t]%int64(op.BasisN) != 0 {
+			return fmt.Errorf("operator: template %d starts at %d, not a multiple of basisN %d",
+				t, ts.TplPtr[t], op.BasisN)
 		}
 	}
 	if len(ts.RowTpl) != op.Rows || len(ts.RowBase) != op.Rows {
@@ -322,6 +344,21 @@ func (op *Operator) ValidateTemplates() error {
 		}
 		base := int64(ts.RowBase[r])
 		lo, hi := ts.TplPtr[t], ts.TplPtr[t+1]
+		if op.BSR != nil {
+			if base%int64(op.BasisN) != 0 {
+				return fmt.Errorf("operator: blocked row %d base column %d not a multiple of basisN %d",
+					r, base, op.BasisN)
+			}
+			baseElem := base / int64(op.BasisN)
+			nElems := int64(op.Cols / op.BasisN)
+			for i := lo / int64(op.BasisN); i < hi/int64(op.BasisN); i++ {
+				e := baseElem + int64(op.BSR.TplBlockDelta[i])
+				if e < 0 || e >= nElems {
+					return fmt.Errorf("operator: row %d template element %d out of range [0,%d)", r, e, nElems)
+				}
+			}
+			continue
+		}
 		for i := lo; i < hi; i++ {
 			c := base + int64(ts.TplDelta[i])
 			if c < 0 || c >= int64(op.Cols) {

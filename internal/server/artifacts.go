@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"sync"
 
 	"unstencil/internal/artifact"
 	"unstencil/internal/core"
@@ -233,8 +234,64 @@ const (
 func (a *Artifacts) Operator(ev *core.Evaluator, meshID string) (*operator.Operator, string, error) {
 	key := OpKey(meshID, ev.Opt.P, ev.Opt.GridDegree, ev.Opt.Boundary)
 	return a.operatorFor(key, func() (*operator.Operator, error) {
-		return ev.AssembleOperator(core.AssembleOpts{Congruence: core.CongruenceTemplate})
+		return ev.AssembleOperator(core.AssembleOpts{
+			Congruence: core.CongruenceTemplate,
+			SigCache:   a.signatureCache(meshID, ev),
+		})
 	})
+}
+
+// sigCacheKey scopes one cached canonical-signature hash pair to a row: the
+// exact position bit patterns plus the quantised one-sided kernel-class
+// keys. Everything else the hash depends on — mesh geometry, kernel order,
+// h, quantisation step — is fixed by the cache instance's own LRU key.
+type sigCacheKey struct {
+	xb, yb uint64
+	kx, ky int64
+}
+
+// sigCache is the server's core.SignatureCache: a mesh-scoped memo of
+// canonical row-signature hashes, shared by every operator variant
+// (grid degree, boundary treatment) assembled against the same mesh at the
+// same kernel, so only the first variant pays per-row canonicalisation.
+// Entries are only ever consulted by the congruence prefilter, whose
+// groupings are certified bitwise downstream — a stale or colliding entry
+// can cost speed, never correctness.
+type sigCache struct {
+	mu sync.RWMutex
+	m  map[sigCacheKey][2]uint64
+}
+
+func (c *sigCache) Lookup(xb, yb uint64, kx, ky int64) (exact, quant uint64, ok bool) {
+	c.mu.RLock()
+	v, ok := c.m[sigCacheKey{xb, yb, kx, ky}]
+	c.mu.RUnlock()
+	return v[0], v[1], ok
+}
+
+func (c *sigCache) Store(xb, yb uint64, kx, ky int64, exact, quant uint64) {
+	c.mu.Lock()
+	c.m[sigCacheKey{xb, yb, kx, ky}] = [2]uint64{exact, quant}
+	c.mu.Unlock()
+}
+
+// signatureCache returns the shared signature cache for ev's
+// (mesh, kernel order, kernel scale) tuple, creating it on first use. The
+// LRU key pins exactly the parameters the cached hashes are a function of
+// beyond the per-row key — grid degree and boundary deliberately absent,
+// since sharing across those variants is the point. Returns nil (no
+// caching) only if the LRU refuses the build.
+func (a *Artifacts) signatureCache(meshID string, ev *core.Evaluator) core.SignatureCache {
+	key := fmt.Sprintf("sig:%s/p%d/h%x", meshID, ev.Opt.P, math.Float64bits(ev.H))
+	// Charge roughly one entry per grid point: 40 B of key+value plus map
+	// overhead. The estimate only steers LRU eviction pressure.
+	v, _, err := a.cache.GetOrBuild(key, func() (any, int64, error) {
+		return &sigCache{m: make(map[sigCacheKey][2]uint64)}, int64(ev.NumPoints())*56 + 1024, nil
+	})
+	if err != nil {
+		return nil
+	}
+	return v.(*sigCache)
 }
 
 // operatorFor resolves one operator cache key through the memory and disk
@@ -248,6 +305,10 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 		// space and page-cache pressure just the same.
 		if a.store != nil {
 			if op, _, err := a.store.LoadOperator(key, true); err == nil {
+				// v1/v2 artifacts decode as scalar CSR; block their index on
+				// admission (no-op for v3, which is already BSR — the blocked
+				// index aliases the mapping, everything else stays zero-copy).
+				op = op.ToBSR()
 				src = OpSrcDisk
 				a.recordOperator(op)
 				return op, op.Stats().Bytes + 1024, nil
@@ -262,8 +323,11 @@ func (a *Artifacts) operatorFor(key string, assemble func() (*operator.Operator,
 		// fallback when rows do not share structure) and the compressed form
 		// is what both the LRU and the disk store should hold. For operators
 		// built by congruence-first assembly this is a no-op — they emitted
-		// their templates at assembly time and skip the rescan.
-		op = op.Templatize()
+		// their templates at assembly time and skip the rescan. ToBSR then
+		// blocks the column index of any operator assembly left in scalar
+		// form (assembly emits BSR directly on block-decomposable meshes, so
+		// this too is usually a no-op).
+		op = op.Templatize().ToBSR()
 		a.recordOperator(op)
 		src = OpSrcAssembled
 		if a.store != nil {
@@ -290,8 +354,10 @@ func (a *Artifacts) recordOperator(op *operator.Operator) {
 		templated = op.Tpl.TemplatedRows()
 	}
 	a.ops.RecordTemplates(op.Rows, templated, op.BytesSaved())
+	a.ops.RecordLayout(op.BSR != nil, op.IndexBytesSaved())
 	if cs := op.Congruence; cs != nil {
 		a.ops.RecordAssembly(cs.RowsIntegrated, cs.RowsStamped, cs.ClassesVerified, cs.ClassesDemoted, op.AssemblyWall)
+		a.ops.RecordSigCache(cs.SigCacheLookups, cs.SigCacheHits)
 	}
 }
 
@@ -312,7 +378,11 @@ func (a *Artifacts) QueryOperator(ev *core.Evaluator, meshID string, pts []geom.
 	}
 	key := fmt.Sprintf("qop:%s/p%d/%v/%x", meshID, ev.Opt.P, ev.Opt.Boundary, h.Sum(nil))
 	return a.operatorFor(key, func() (*operator.Operator, error) {
-		return ev.AssembleOperator(core.AssembleOpts{Points: pts, Congruence: core.CongruenceTemplate})
+		return ev.AssembleOperator(core.AssembleOpts{
+			Points:     pts,
+			Congruence: core.CongruenceTemplate,
+			SigCache:   a.signatureCache(meshID, ev),
+		})
 	})
 }
 
